@@ -1,0 +1,102 @@
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Every bench prints the rows/series of one paper table or figure using
+// util::Table, plus a short header stating what the paper reports so the
+// output is self-contained for EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/encryption_plan.hpp"
+#include "sim/gpu_config.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/network_runner.hpp"
+
+namespace sealdl::bench {
+
+/// One bar group of the performance figures.
+struct SchemeConfig {
+  std::string name;
+  sim::EncryptionScheme scheme;
+  bool selective;  ///< SEAL schemes encrypt only plan-marked ranges
+};
+
+/// Baseline / Direct / Counter / SEAL-D / SEAL-C (paper §IV-A).
+inline std::vector<SchemeConfig> five_schemes() {
+  return {
+      {"Baseline", sim::EncryptionScheme::kNone, false},
+      {"Direct", sim::EncryptionScheme::kDirect, false},
+      {"Counter", sim::EncryptionScheme::kCounter, false},
+      {"SEAL-D", sim::EncryptionScheme::kDirect, true},
+      {"SEAL-C", sim::EncryptionScheme::kCounter, true},
+  };
+}
+
+/// Applies one scheme to a GTX480 config.
+inline sim::GpuConfig configure(const SchemeConfig& scheme) {
+  sim::GpuConfig config = sim::GpuConfig::gtx480();
+  config.scheme = scheme.scheme;
+  config.selective = scheme.selective;
+  return config;
+}
+
+/// The paper's default SE plan: 50% ratio with the §III-B boundary policy.
+inline core::PlanOptions default_plan() {
+  core::PlanOptions plan;
+  plan.encryption_ratio = 0.5;
+  return plan;
+}
+
+/// Per-layer figures apply the SE ratio to the measured layer itself
+/// (no boundary policy — the swept layer is a body layer).
+inline core::PlanOptions body_layer_plan(double ratio = 0.5) {
+  core::PlanOptions plan;
+  plan.encryption_ratio = ratio;
+  plan.full_head_convs = 0;
+  plan.full_tail_convs = 0;
+  plan.full_tail_fcs = 0;
+  return plan;
+}
+
+/// Simulates one body layer followed by a synthetic consumer CONV, timing
+/// only the body layer. The consumer exists so that under SEAL the measured
+/// layer's output feature map carries a downstream layer's 50% channel
+/// marking rather than the fully-encrypted network-output rule.
+inline workload::LayerResult run_body_layer(const models::LayerSpec& spec,
+                                            const SchemeConfig& scheme,
+                                            std::uint64_t tiles, double ratio) {
+  models::LayerSpec consumer;
+  consumer.type = models::LayerSpec::Type::kConv;
+  consumer.name = "consumer";
+  consumer.in_channels = spec.out_channels;
+  consumer.out_channels = spec.out_channels;
+  consumer.in_h = spec.out_h();
+  consumer.in_w = spec.out_w();
+
+  workload::RunOptions options;
+  options.max_tiles_per_layer = tiles;
+  options.selective = scheme.selective;
+  options.plan = body_layer_plan(ratio);
+  options.layer_filter = {0};
+  return workload::run_network({spec, consumer}, configure(scheme), options)
+      .layers.front();
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& title, const std::string& paper_claim) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+/// Warn about unknown flags (typos in sweep scripts fail loudly).
+inline void check_flags(const util::CliFlags& flags) {
+  for (const auto& name : flags.unused()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", name.c_str());
+  }
+}
+
+}  // namespace sealdl::bench

@@ -1,0 +1,66 @@
+#include "attack/bus_snooper.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sealdl::attack {
+
+void BusSnooper::on_transfer(sim::Addr line_addr, std::uint32_t bytes,
+                             bool is_write, bool encrypted) {
+  (void)line_addr;
+  (void)is_write;
+  ++transfers_;
+  if (encrypted) ++encrypted_transfers_;
+  bytes_ += bytes;
+}
+
+void BusSnooper::on_data(sim::Addr line_addr,
+                         std::span<const std::uint8_t> wire_bytes, bool is_write,
+                         bool encrypted) {
+  (void)is_write;
+  LineCapture& capture = lines_[line_addr];
+  const std::size_t n = std::min<std::size_t>(wire_bytes.size(), capture.bytes.size());
+  std::memcpy(capture.bytes.data(), wire_bytes.data(), n);
+  capture.encrypted = encrypted;
+}
+
+std::vector<std::uint8_t> BusSnooper::extract(sim::Addr addr,
+                                              std::uint64_t size) const {
+  std::vector<std::uint8_t> out(size, 0);
+  std::uint64_t offset = 0;
+  while (offset < size) {
+    const sim::Addr line = (addr + offset) & ~static_cast<sim::Addr>(127);
+    const std::uint64_t in_line = (addr + offset) - line;
+    const std::uint64_t n = std::min<std::uint64_t>(128 - in_line, size - offset);
+    const auto it = lines_.find(line);
+    if (it != lines_.end()) {
+      std::memcpy(out.data() + offset, it->second.bytes.data() + in_line, n);
+    }
+    offset += n;
+  }
+  return out;
+}
+
+bool BusSnooper::fully_observed(sim::Addr addr, std::uint64_t size) const {
+  for (sim::Addr line = addr & ~static_cast<sim::Addr>(127); line < addr + size;
+       line += 128) {
+    if (!lines_.count(line)) return false;
+  }
+  return true;
+}
+
+bool BusSnooper::saw_ciphertext(sim::Addr addr, std::uint64_t size) const {
+  for (sim::Addr line = addr & ~static_cast<sim::Addr>(127); line < addr + size;
+       line += 128) {
+    const auto it = lines_.find(line);
+    if (it != lines_.end() && it->second.encrypted) return true;
+  }
+  return false;
+}
+
+void BusSnooper::clear() {
+  lines_.clear();
+  transfers_ = encrypted_transfers_ = bytes_ = 0;
+}
+
+}  // namespace sealdl::attack

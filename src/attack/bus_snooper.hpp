@@ -1,0 +1,56 @@
+// The adversary's bus snooper (paper §II-A threat model).
+//
+// Attached as a BusProbe to the functional memory (or the timing memory
+// controllers), it records the last wire image of every line transferred on
+// the memory bus. Under the strong attack model (§III-B) the adversary also
+// knows which address ranges belong to which tensors, so it can attempt to
+// reassemble the NN model from the captured image — recovering plaintext
+// rows exactly and garbage (ciphertext) for encrypted rows.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/bus_probe.hpp"
+
+namespace sealdl::attack {
+
+class BusSnooper final : public sim::BusProbe {
+ public:
+  void on_transfer(sim::Addr line_addr, std::uint32_t bytes, bool is_write,
+                   bool encrypted) override;
+
+  void on_data(sim::Addr line_addr, std::span<const std::uint8_t> wire_bytes,
+               bool is_write, bool encrypted) override;
+
+  /// Reconstructs [addr, addr+size) from captured lines. Bytes from lines the
+  /// snooper never saw read back as zero; `seen` (optional) reports coverage.
+  [[nodiscard]] std::vector<std::uint8_t> extract(sim::Addr addr,
+                                                  std::uint64_t size) const;
+
+  /// True if every byte of the range was observed on the bus.
+  [[nodiscard]] bool fully_observed(sim::Addr addr, std::uint64_t size) const;
+
+  /// True if any captured transfer covering the range was flagged encrypted.
+  [[nodiscard]] bool saw_ciphertext(sim::Addr addr, std::uint64_t size) const;
+
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+  [[nodiscard]] std::uint64_t encrypted_transfers() const { return encrypted_transfers_; }
+  [[nodiscard]] std::uint64_t bytes_on_bus() const { return bytes_; }
+
+  void clear();
+
+ private:
+  struct LineCapture {
+    std::array<std::uint8_t, 128> bytes{};
+    bool encrypted = false;
+  };
+  std::unordered_map<sim::Addr, LineCapture> lines_;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t encrypted_transfers_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace sealdl::attack

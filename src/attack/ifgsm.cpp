@@ -1,0 +1,106 @@
+#include "attack/ifgsm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "nn/loss.hpp"
+#include "nn/trainer.hpp"
+
+namespace sealdl::attack {
+
+AdversarialBatch generate_ifgsm(nn::Layer& substitute, const nn::Tensor& images,
+                                const std::vector<int>& labels, int classes,
+                                const IfgsmOptions& options) {
+  AdversarialBatch out;
+  out.images = images;
+  out.true_labels = labels;
+  const int total = images.dim(0);
+  const std::size_t per = images.numel() / static_cast<std::size_t>(total);
+
+  // Pre-assign a random incorrect target per example.
+  util::Rng rng(options.target_seed);
+  out.targets.resize(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    int target = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(classes - 1)));
+    if (target >= labels[static_cast<std::size_t>(i)]) ++target;
+    out.targets[static_cast<std::size_t>(i)] = target;
+  }
+  out.fooled_substitute.assign(static_cast<std::size_t>(total), false);
+
+  for (int start = 0; start < total; start += options.batch_size) {
+    const int end = std::min(total, start + options.batch_size);
+    const int n = end - start;
+    nn::Tensor x = nn::slice_batch(images, start, end);
+    nn::Tensor x0 = x;
+    std::vector<int> targets(out.targets.begin() + start, out.targets.begin() + end);
+    std::vector<bool> done(static_cast<std::size_t>(n), false);
+
+    for (int iter = 0; iter < options.max_iters; ++iter) {
+      nn::Tensor logits = substitute.forward(x, /*train=*/true);
+      const auto preds = nn::predict(logits);
+      bool all_done = true;
+      for (int i = 0; i < n; ++i) {
+        done[static_cast<std::size_t>(i)] = preds[static_cast<std::size_t>(i)] == targets[static_cast<std::size_t>(i)];
+        all_done = all_done && done[static_cast<std::size_t>(i)];
+      }
+      if (all_done) break;
+
+      // Descend the targeted cross-entropy: x <- x - alpha*sign(grad).
+      const nn::LossResult loss = nn::softmax_cross_entropy(logits, targets);
+      nn::Tensor grad = substitute.backward(loss.grad);
+      for (int i = 0; i < n; ++i) {
+        if (done[static_cast<std::size_t>(i)]) continue;  // keep successes intact
+        float* xi = x.data() + static_cast<std::size_t>(i) * per;
+        const float* x0i = x0.data() + static_cast<std::size_t>(i) * per;
+        const float* gi = grad.data() + static_cast<std::size_t>(i) * per;
+        for (std::size_t j = 0; j < per; ++j) {
+          const float s = gi[j] > 0.0f ? 1.0f : (gi[j] < 0.0f ? -1.0f : 0.0f);
+          float v = xi[j] - options.alpha * s;
+          v = std::clamp(v, x0i[j] - options.epsilon, x0i[j] + options.epsilon);
+          xi[j] = v;
+        }
+      }
+    }
+
+    // Record the final substitute verdict and copy the perturbed batch back.
+    nn::Tensor logits = substitute.forward(x, /*train=*/false);
+    const auto preds = nn::predict(logits);
+    for (int i = 0; i < n; ++i) {
+      out.fooled_substitute[static_cast<std::size_t>(start + i)] =
+          preds[static_cast<std::size_t>(i)] == targets[static_cast<std::size_t>(i)];
+    }
+    std::memcpy(out.images.data() + static_cast<std::size_t>(start) * per, x.data(),
+                static_cast<std::size_t>(n) * per * sizeof(float));
+  }
+  return out;
+}
+
+TransferResult evaluate_transfer(nn::Layer& victim, const AdversarialBatch& batch,
+                                 int batch_size) {
+  const int total = batch.images.dim(0);
+  TransferResult result;
+  std::size_t substitute_ok = 0, transferred = 0;
+  for (int start = 0; start < total; start += batch_size) {
+    const int end = std::min(total, start + batch_size);
+    nn::Tensor logits =
+        victim.forward(nn::slice_batch(batch.images, start, end), /*train=*/false);
+    const auto preds = nn::predict(logits);
+    for (int i = start; i < end; ++i) {
+      if (!batch.fooled_substitute[static_cast<std::size_t>(i)]) continue;
+      ++substitute_ok;
+      if (preds[static_cast<std::size_t>(i - start)] !=
+          batch.true_labels[static_cast<std::size_t>(i)]) {
+        ++transferred;
+      }
+    }
+  }
+  result.substitute_success =
+      total ? static_cast<double>(substitute_ok) / static_cast<double>(total) : 0.0;
+  result.transferability =
+      substitute_ok ? static_cast<double>(transferred) / static_cast<double>(substitute_ok)
+                    : 0.0;
+  return result;
+}
+
+}  // namespace sealdl::attack

@@ -1,0 +1,51 @@
+// Iterative FGSM adversarial-example generation (Kurakin et al. — paper
+// reference [12]) and transferability evaluation (paper §III-B3).
+//
+// Targeted attack: push each input toward a pre-assigned incorrect class on
+// the *substitute* model, iterating until the substitute predicts the target
+// (the paper's batches have 100% success on their own substitute), then
+// measure how many of those examples also fool the *victim*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace sealdl::attack {
+
+struct IfgsmOptions {
+  float alpha = 0.02f;      ///< per-iteration step
+  float epsilon = 0.25f;    ///< L-inf perturbation budget
+  int max_iters = 40;
+  int batch_size = 32;
+  std::uint64_t target_seed = 123;  ///< random pre-assigned target classes
+};
+
+struct AdversarialBatch {
+  nn::Tensor images;             ///< perturbed inputs
+  std::vector<int> true_labels;  ///< original labels
+  std::vector<int> targets;      ///< pre-assigned incorrect classes
+  std::vector<bool> fooled_substitute;  ///< per-example success on substitute
+};
+
+/// Generates adversarial examples against `substitute` from clean `images`.
+AdversarialBatch generate_ifgsm(nn::Layer& substitute, const nn::Tensor& images,
+                                const std::vector<int>& labels, int classes,
+                                const IfgsmOptions& options);
+
+struct TransferResult {
+  double substitute_success = 0.0;  ///< fraction fooling the substitute
+  double transferability = 0.0;     ///< fraction (of substitute successes)
+                                    ///< that also mislead the victim
+};
+
+/// Evaluates `batch` against the victim. An example transfers when the victim
+/// misclassifies it (prediction != true label), the standard transferability
+/// criterion for substitute-model attacks [4].
+TransferResult evaluate_transfer(nn::Layer& victim, const AdversarialBatch& batch,
+                                 int batch_size = 64);
+
+}  // namespace sealdl::attack

@@ -1,0 +1,63 @@
+#include "attack/jacobian_aug.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "attack/substitute.hpp"
+#include "nn/trainer.hpp"
+
+namespace sealdl::attack {
+
+nn::Tensor class_logit_input_gradient(nn::Layer& model, const nn::Tensor& images,
+                                      const std::vector<int>& labels) {
+  // Forward in train mode (to cache activations), then backpropagate a
+  // one-hot gradient selecting each sample's class logit.
+  nn::Tensor logits = model.forward(images, /*train=*/true);
+  nn::Tensor grad_out = logits.zeros_like();
+  for (int n = 0; n < logits.dim(0); ++n) {
+    grad_out.at2(n, labels[static_cast<std::size_t>(n)]) = 1.0f;
+  }
+  return model.backward(grad_out);
+}
+
+AugmentedCorpus jacobian_augment(nn::Layer& substitute, nn::Layer& oracle,
+                                 const nn::Tensor& seed_images,
+                                 const std::vector<int>& seed_labels,
+                                 const JacobianAugOptions& options) {
+  AugmentedCorpus corpus{seed_images, seed_labels};
+  for (int round = 0; round < options.rounds; ++round) {
+    const int n = corpus.images.dim(0);
+    const std::size_t per =
+        corpus.images.numel() / static_cast<std::size_t>(n);
+    std::vector<int> shape = corpus.images.shape();
+    shape[0] = 2 * n;
+    nn::Tensor next(shape);
+    std::memcpy(next.data(), corpus.images.data(),
+                corpus.images.numel() * sizeof(float));
+
+    for (int start = 0; start < n; start += options.batch_size) {
+      const int end = std::min(n, start + options.batch_size);
+      nn::Tensor batch = nn::slice_batch(corpus.images, start, end);
+      std::vector<int> batch_labels(
+          corpus.labels.begin() + start, corpus.labels.begin() + end);
+      nn::Tensor grad =
+          class_logit_input_gradient(substitute, batch, batch_labels);
+      for (int i = start; i < end; ++i) {
+        float* dst = next.data() + static_cast<std::size_t>(n + i) * per;
+        const float* src = corpus.images.data() + static_cast<std::size_t>(i) * per;
+        const float* g = grad.data() + static_cast<std::size_t>(i - start) * per;
+        for (std::size_t j = 0; j < per; ++j) {
+          const float s = g[j] > 0.0f ? 1.0f : (g[j] < 0.0f ? -1.0f : 0.0f);
+          dst[j] = src[j] + options.lambda * s;
+        }
+      }
+    }
+    corpus.images = std::move(next);
+    const auto new_labels = query_oracle(
+        oracle, nn::slice_batch(corpus.images, n, 2 * n), options.batch_size);
+    corpus.labels.insert(corpus.labels.end(), new_labels.begin(), new_labels.end());
+  }
+  return corpus;
+}
+
+}  // namespace sealdl::attack

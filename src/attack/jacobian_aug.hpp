@@ -1,0 +1,40 @@
+// Jacobian-based dataset augmentation (Papernot et al., ASIA CCS'17 —
+// paper reference [20]).
+//
+// The adversary grows its training corpus by perturbing held samples along
+// the sign of the substitute's output-gradient for the oracle-assigned class,
+// then re-querying the victim for labels: x' = x + lambda * sign(dF_y/dx).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+
+#include <vector>
+
+namespace sealdl::attack {
+
+struct JacobianAugOptions {
+  float lambda = 0.1f;   ///< perturbation step
+  int rounds = 2;        ///< each round doubles the corpus
+  int batch_size = 32;
+};
+
+/// Gradient of the class-`label` logit w.r.t. the input, per sample.
+/// `images` is [N,C,H,W]; `labels` parallel. Returns a tensor of input shape.
+nn::Tensor class_logit_input_gradient(nn::Layer& model, const nn::Tensor& images,
+                                      const std::vector<int>& labels);
+
+/// Runs the augmentation: starting from `seed_images`, performs
+/// `options.rounds` doubling rounds against `substitute`, labelling every new
+/// sample with `oracle`. Returns the full corpus (seeds + synthetic).
+struct AugmentedCorpus {
+  nn::Tensor images;
+  std::vector<int> labels;
+};
+
+AugmentedCorpus jacobian_augment(nn::Layer& substitute, nn::Layer& oracle,
+                                 const nn::Tensor& seed_images,
+                                 const std::vector<int>& seed_labels,
+                                 const JacobianAugOptions& options);
+
+}  // namespace sealdl::attack

@@ -1,0 +1,81 @@
+#include "attack/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace sealdl::attack {
+
+SecurityPipeline::SecurityPipeline(PipelineOptions options)
+    : options_(std::move(options)), dataset_(options_.dataset) {}
+
+ModelFactory SecurityPipeline::factory() const {
+  return [this] { return models::build_model(options_.model, options_.build); };
+}
+
+void SecurityPipeline::prepare() {
+  if (prepared_) return;
+  // 1. Victim trains on its private 90% pool (§III-B1).
+  victim_ = factory()();
+  nn::train(*victim_, dataset_, dataset_.victim_train_indices(options_.test_holdout),
+            {}, options_.victim_train);
+
+  // 2. Adversary holds the remaining 10%, labels it via the oracle, then
+  //    expands it with Jacobian-based augmentation [20].
+  const auto adversary_idx = dataset_.adversary_indices();
+  nn::Tensor seeds = dataset_.batch(adversary_idx);
+  std::vector<int> seed_labels = query_oracle(*victim_, seeds);
+
+  // The augmentation needs a rough substitute to differentiate through; the
+  // standard protocol bootstraps with a briefly trained fresh model.
+  auto bootstrap = factory()();
+  nn::TrainOptions boot_train = options_.substitute_train;
+  boot_train.epochs = std::max(1, boot_train.epochs / 2);
+  nn::train_tensors(*bootstrap, seeds, seed_labels, boot_train);
+
+  const AugmentedCorpus augmented = jacobian_augment(
+      *bootstrap, *victim_, seeds, seed_labels, options_.augment);
+  corpus_.images = augmented.images;
+  corpus_.labels = augmented.labels;
+  prepared_ = true;
+}
+
+double SecurityPipeline::victim_test_accuracy() { return test_accuracy(*victim_); }
+
+double SecurityPipeline::test_accuracy(nn::Layer& model) {
+  const auto test_idx = dataset_.test_indices(options_.test_holdout);
+  return nn::evaluate(model, dataset_, test_idx);
+}
+
+std::unique_ptr<nn::Sequential> SecurityPipeline::white_box() {
+  if (!prepared_) throw std::logic_error("pipeline: call prepare() first");
+  return make_white_box(factory(), *victim_);
+}
+
+std::unique_ptr<nn::Sequential> SecurityPipeline::black_box() {
+  if (!prepared_) throw std::logic_error("pipeline: call prepare() first");
+  return make_black_box(factory(), corpus_, options_.substitute_train);
+}
+
+std::unique_ptr<nn::Sequential> SecurityPipeline::seal_substitute(
+    double ratio, core::EncryptionPlan* plan_out) {
+  if (!prepared_) throw std::logic_error("pipeline: call prepare() first");
+  core::PlanOptions plan_options;
+  plan_options.encryption_ratio = ratio;
+  const auto plan = core::EncryptionPlan::from_model(*victim_, plan_options);
+  if (plan_out) *plan_out = plan;
+  return make_seal_substitute(factory(), *victim_, plan, corpus_,
+                              options_.substitute_train, options_.freeze_known);
+}
+
+nn::Tensor SecurityPipeline::test_images(int count) const {
+  auto idx = dataset_.test_indices(options_.test_holdout);
+  idx.resize(std::min<std::size_t>(idx.size(), static_cast<std::size_t>(count)));
+  return dataset_.batch(idx);
+}
+
+std::vector<int> SecurityPipeline::test_labels(int count) const {
+  auto idx = dataset_.test_indices(options_.test_holdout);
+  idx.resize(std::min<std::size_t>(idx.size(), static_cast<std::size_t>(count)));
+  return dataset_.batch_labels(idx);
+}
+
+}  // namespace sealdl::attack

@@ -1,0 +1,74 @@
+// End-to-end security-experiment pipeline (paper §III-B): trains a victim,
+// builds the adversary corpus (held-out split + Jacobian augmentation against
+// the victim oracle), and produces white-box / black-box / SEAL substitutes.
+// Shared by the Fig. 3 and Fig. 4 benches and the integration tests.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "attack/jacobian_aug.hpp"
+#include "attack/substitute.hpp"
+#include "core/encryption_plan.hpp"
+#include "models/build.hpp"
+#include "nn/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace sealdl::attack {
+
+struct PipelineOptions {
+  std::string model = "vgg16";
+  models::BuildOptions build;       ///< victim/substitute architecture
+  nn::DatasetConfig dataset;
+  int test_holdout = 500;           ///< victim-pool samples reserved for eval
+  nn::TrainOptions victim_train;
+  nn::TrainOptions substitute_train;
+  JacobianAugOptions augment;
+  /// Paper's frozen-known-rows adversary vs the stronger init-only one (see
+  /// make_seal_substitute).
+  bool freeze_known = false;
+};
+
+class SecurityPipeline {
+ public:
+  explicit SecurityPipeline(PipelineOptions options);
+
+  /// Trains the victim and assembles the adversary corpus. Call once.
+  void prepare();
+
+  [[nodiscard]] nn::Sequential& victim() { return *victim_; }
+  [[nodiscard]] const nn::SyntheticDataset& dataset() const { return dataset_; }
+  [[nodiscard]] const AdversaryCorpus& corpus() const { return corpus_; }
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+
+  /// Victim accuracy on the held-out test set.
+  [[nodiscard]] double victim_test_accuracy();
+
+  /// Accuracy of an arbitrary model on the victim's test set (the IP-stealing
+  /// metric of Fig. 3).
+  [[nodiscard]] double test_accuracy(nn::Layer& model);
+
+  std::unique_ptr<nn::Sequential> white_box();
+  std::unique_ptr<nn::Sequential> black_box();
+
+  /// SEAL substitute for the given encryption ratio; also returns the plan
+  /// used (via out-param) when callers need it.
+  std::unique_ptr<nn::Sequential> seal_substitute(double ratio,
+                                                  core::EncryptionPlan* plan_out =
+                                                      nullptr);
+
+  /// Test images + labels for adversarial-example generation (Fig. 4).
+  [[nodiscard]] nn::Tensor test_images(int count) const;
+  [[nodiscard]] std::vector<int> test_labels(int count) const;
+
+ private:
+  [[nodiscard]] ModelFactory factory() const;
+
+  PipelineOptions options_;
+  nn::SyntheticDataset dataset_;
+  std::unique_ptr<nn::Sequential> victim_;
+  AdversaryCorpus corpus_;
+  bool prepared_ = false;
+};
+
+}  // namespace sealdl::attack

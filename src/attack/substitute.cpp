@@ -1,0 +1,105 @@
+#include "attack/substitute.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/weight_layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+
+namespace sealdl::attack {
+
+std::vector<int> query_oracle(nn::Layer& victim, const nn::Tensor& images,
+                              int batch_size) {
+  const int total = images.dim(0);
+  std::vector<int> labels;
+  labels.reserve(static_cast<std::size_t>(total));
+  for (int start = 0; start < total; start += batch_size) {
+    const int end = std::min(total, start + batch_size);
+    nn::Tensor logits =
+        victim.forward(nn::slice_batch(images, start, end), /*train=*/false);
+    for (int p : nn::predict(logits)) labels.push_back(p);
+  }
+  return labels;
+}
+
+std::unique_ptr<nn::Sequential> make_white_box(const ModelFactory& factory,
+                                               nn::Layer& victim) {
+  auto model = factory();
+  nn::copy_params(victim, *model);
+  return model;
+}
+
+std::unique_ptr<nn::Sequential> make_black_box(const ModelFactory& factory,
+                                               const AdversaryCorpus& corpus,
+                                               const nn::TrainOptions& train) {
+  auto model = factory();
+  nn::train_tensors(*model, corpus.images, corpus.labels, train);
+  return model;
+}
+
+std::unique_ptr<nn::Sequential> make_seal_substitute(
+    const ModelFactory& factory, nn::Layer& victim,
+    const core::EncryptionPlan& plan, const AdversaryCorpus& corpus,
+    const nn::TrainOptions& train, bool freeze_known,
+    std::uint64_t reinit_seed) {
+  auto model = factory();
+  nn::copy_params(victim, *model);
+
+  const auto layers = core::collect_weight_layers(*model);
+  if (layers.size() != plan.layer_count()) {
+    throw std::invalid_argument("substitute: plan does not match architecture");
+  }
+
+  util::Rng rng(reinit_seed);
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const core::WeightLayerRef& layer = layers[li];
+    const core::LayerPlan& lp = plan.layer(li);
+    nn::Param& weight = *layer.weight;
+    // He-scaled normal for the unknown rows — the paper fills a standard
+    // normal [7]; we keep the He scale so the re-initialised rows match the
+    // activation statistics of the known ones and fine-tuning is stable.
+    const float stddev = std::sqrt(
+        2.0f / (static_cast<float>(layer.rows) * static_cast<float>(layer.weights_per_cell)));
+
+    if (freeze_known) weight.mask = weight.value.zeros_like();
+    if (layer.is_conv) {
+      const int cell = layer.weights_per_cell;
+      for (int oc = 0; oc < layer.cols; ++oc) {
+        for (int ic = 0; ic < layer.rows; ++ic) {
+          if (!lp.row_encrypted(ic)) continue;  // known row: stays frozen
+          const std::size_t base =
+              (static_cast<std::size_t>(oc) * static_cast<std::size_t>(layer.rows) +
+               static_cast<std::size_t>(ic)) *
+              static_cast<std::size_t>(cell);
+          for (int i = 0; i < cell; ++i) {
+            weight.value[base + static_cast<std::size_t>(i)] = rng.normal(0.0f, stddev);
+            if (freeze_known) weight.mask[base + static_cast<std::size_t>(i)] = 1.0f;
+          }
+        }
+      }
+    } else {
+      for (int o = 0; o < layer.cols; ++o) {
+        for (int i = 0; i < layer.rows; ++i) {
+          if (!lp.row_encrypted(i)) continue;
+          const std::size_t idx =
+              static_cast<std::size_t>(o) * static_cast<std::size_t>(layer.rows) +
+              static_cast<std::size_t>(i);
+          weight.value[idx] = rng.normal(0.0f, stddev);
+          if (freeze_known) weight.mask[idx] = 1.0f;
+        }
+      }
+    }
+  }
+
+  // Every non-kernel parameter (biases, batch-norm affine) travels with the
+  // encrypted side of the model: unknown to the adversary, fully trainable.
+  // (collect_weight_layers covers kernels only; leave other params unmasked.)
+  nn::train_tensors(*model, corpus.images, corpus.labels, train);
+
+  // Clear masks so the returned model behaves like an ordinary network.
+  for (nn::Param* p : model->params()) p->clear_mask();
+  return model;
+}
+
+}  // namespace sealdl::attack

@@ -1,0 +1,63 @@
+// Substitute-model generation (paper §III-B1).
+//
+// Three adversary knowledge levels:
+//  * white-box — no encryption: the substitute IS the victim;
+//  * black-box — full encryption: fresh model retrained purely from
+//    oracle-labelled queries;
+//  * SEAL      — selective encryption: known (plaintext) kernel rows are
+//    copied and frozen; unknown (encrypted) rows are re-initialised from a
+//    normal distribution [7] and fine-tuned on oracle-labelled queries.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/encryption_plan.hpp"
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace sealdl::attack {
+
+/// Builds a fresh, untrained instance of the victim architecture (the strong
+/// attack model assumes the architecture is known via side channels).
+using ModelFactory = std::function<std::unique_ptr<nn::Sequential>()>;
+
+/// Oracle-labelled training corpus assembled by the adversary.
+struct AdversaryCorpus {
+  nn::Tensor images;        ///< [N, C, H, W]
+  std::vector<int> labels;  ///< victim-assigned labels
+};
+
+/// Labels `images` by querying `victim` (the accelerator's output interface).
+std::vector<int> query_oracle(nn::Layer& victim, const nn::Tensor& images,
+                              int batch_size = 64);
+
+/// Exact copy of the victim (the no-encryption outcome).
+std::unique_ptr<nn::Sequential> make_white_box(const ModelFactory& factory,
+                                               nn::Layer& victim);
+
+/// Fresh model trained only on the adversary corpus (full encryption).
+std::unique_ptr<nn::Sequential> make_black_box(const ModelFactory& factory,
+                                               const AdversaryCorpus& corpus,
+                                               const nn::TrainOptions& train);
+
+/// SEAL substitute: copies the victim, re-initialises encrypted rows, then
+/// fine-tunes on the corpus. `plan` is the victim's encryption plan under the
+/// tested ratio.
+///
+/// `freeze_known` selects the adversary variant: the paper's §III-B1
+/// adversary pins the known rows and trains only the unknown ones; the
+/// default here trains everything with the known rows as initialisation — a
+/// strictly stronger adversary (it can always recover the black-box solution)
+/// whose accuracy-vs-ratio curve is monotone like the paper's Fig. 3. At
+/// this reproduction's reduced scale the frozen variant is handicapped by its
+/// constrained optimisation and underperforms even the black-box attack; both
+/// variants are kept for the ablation.
+std::unique_ptr<nn::Sequential> make_seal_substitute(
+    const ModelFactory& factory, nn::Layer& victim,
+    const core::EncryptionPlan& plan, const AdversaryCorpus& corpus,
+    const nn::TrainOptions& train, bool freeze_known = false,
+    std::uint64_t reinit_seed = 97);
+
+}  // namespace sealdl::attack

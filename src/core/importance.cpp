@@ -1,0 +1,48 @@
+#include "core/importance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sealdl::core {
+
+std::vector<float> kernel_row_l1(const WeightLayerRef& layer) {
+  std::vector<float> norms(static_cast<std::size_t>(layer.rows), 0.0f);
+  const nn::Tensor& w = layer.weight->value;
+  if (layer.is_conv) {
+    const int out_ch = layer.cols, in_ch = layer.rows;
+    const int cell = layer.weights_per_cell;
+    for (int oc = 0; oc < out_ch; ++oc) {
+      for (int ic = 0; ic < in_ch; ++ic) {
+        const std::size_t base =
+            (static_cast<std::size_t>(oc) * static_cast<std::size_t>(in_ch) +
+             static_cast<std::size_t>(ic)) *
+            static_cast<std::size_t>(cell);
+        float acc = 0.0f;
+        for (int i = 0; i < cell; ++i) acc += std::fabs(w[base + static_cast<std::size_t>(i)]);
+        norms[static_cast<std::size_t>(ic)] += acc;
+      }
+    }
+  } else {
+    const int out_f = layer.cols, in_f = layer.rows;
+    for (int o = 0; o < out_f; ++o) {
+      for (int i = 0; i < in_f; ++i) {
+        norms[static_cast<std::size_t>(i)] +=
+            std::fabs(w[static_cast<std::size_t>(o) * static_cast<std::size_t>(in_f) +
+                        static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+  return norms;
+}
+
+std::vector<int> rows_by_ascending_importance(const std::vector<float>& row_norms) {
+  std::vector<int> order(row_norms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&row_norms](int a, int b) {
+    return row_norms[static_cast<std::size_t>(a)] < row_norms[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace sealdl::core

@@ -1,0 +1,22 @@
+// Relative-importance measurement of kernel rows (paper §III-A).
+//
+// The importance of kernel row r in a layer is the l1-norm (sum of absolute
+// values) of all weights in that row: for a Conv2d with weight [out, in, k, k]
+// row r is the slice [:, r, :, :]; for a Linear with weight [out, in] it is
+// column r of the matrix (input feature r).
+#pragma once
+
+#include <vector>
+
+#include "core/weight_layers.hpp"
+
+namespace sealdl::core {
+
+/// l1-norm of each kernel row of `layer` (size == layer.rows).
+std::vector<float> kernel_row_l1(const WeightLayerRef& layer);
+
+/// Indices of `row_norms` sorted ascending by norm (ties by index), i.e. the
+/// least-important rows first — the rows SEAL leaves unencrypted.
+std::vector<int> rows_by_ascending_importance(const std::vector<float>& row_norms);
+
+}  // namespace sealdl::core

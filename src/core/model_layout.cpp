@@ -1,0 +1,159 @@
+#include "core/model_layout.hpp"
+
+#include <stdexcept>
+
+namespace sealdl::core {
+
+namespace {
+
+constexpr std::uint64_t kLine = 128;
+
+std::uint64_t align_line(std::uint64_t bytes) {
+  return (bytes + kLine - 1) & ~(kLine - 1);
+}
+
+using models::LayerSpec;
+
+}  // namespace
+
+ModelLayout::ModelLayout(const std::vector<LayerSpec>& specs,
+                         const EncryptionPlan* plan, SecureHeap& heap) {
+  // Map spec index -> plan index (plan covers weight layers only).
+  std::vector<int> plan_index(specs.size(), -1);
+  {
+    int weight_idx = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].type != LayerSpec::Type::kPool) plan_index[i] = weight_idx++;
+    }
+    if (plan && static_cast<std::size_t>(weight_idx) != plan->layer_count()) {
+      throw std::invalid_argument("ModelLayout: plan/spec weight-layer mismatch");
+    }
+  }
+
+  // For fmap f (input of spec i), the consuming weight layer is the first
+  // CONV/FC at index >= i; pools forward their input channels untouched.
+  auto consumer_plan = [&](std::size_t spec_idx) -> const LayerPlan* {
+    if (!plan) return nullptr;
+    for (std::size_t j = spec_idx; j < specs.size(); ++j) {
+      if (plan_index[j] >= 0) return &plan->layer(static_cast<std::size_t>(plan_index[j]));
+    }
+    return nullptr;
+  };
+
+  // Allocate fmap buffers: fmaps[i] is the input of layer i; fmaps[n] is the
+  // network output. Channel pitch is line-aligned. FC fmaps are modeled as
+  // one channel per feature row group; we treat the whole feature vector as
+  // channels of 1 element to reuse the channel machinery.
+  struct Fmap {
+    sim::Addr base = 0;
+    std::uint64_t channel_pitch = 0;
+    int channels = 0;
+  };
+  std::vector<Fmap> fmaps(specs.size() + 1);
+
+  auto alloc_fmap = [&](int channels, std::uint64_t bytes_per_channel) {
+    Fmap f;
+    f.channels = channels;
+    f.channel_pitch = align_line(bytes_per_channel);
+    f.base = heap.malloc(f.channel_pitch * static_cast<std::uint64_t>(channels)).addr;
+    total_bytes_ += f.channel_pitch * static_cast<std::uint64_t>(channels);
+    return f;
+  };
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const LayerSpec& s = specs[i];
+    if (s.type == LayerSpec::Type::kFc) {
+      // Feature vector: channels = in_features, 4 bytes each (pitch merges
+      // them into lines; 32 features per line).
+      fmaps[i] = alloc_fmap(1, static_cast<std::uint64_t>(s.in_features) * 4);
+    } else {
+      fmaps[i] = alloc_fmap(s.in_channels,
+                            static_cast<std::uint64_t>(s.in_h) * static_cast<std::uint64_t>(s.in_w) * 4);
+    }
+  }
+  // Output of the last layer.
+  {
+    const LayerSpec& last = specs.back();
+    if (last.type == LayerSpec::Type::kFc) {
+      fmaps[specs.size()] = alloc_fmap(1, static_cast<std::uint64_t>(last.out_features) * 4);
+    } else {
+      fmaps[specs.size()] =
+          alloc_fmap(last.out_channels,
+                     static_cast<std::uint64_t>(last.out_h()) * static_cast<std::uint64_t>(last.out_w()) * 4);
+    }
+  }
+
+  // Mark encrypted fmap channels per the consumer rule.
+  if (plan) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const LayerPlan* lp = consumer_plan(i);
+      if (!lp) continue;
+      const Fmap& f = fmaps[i];
+      if (specs[i].type == LayerSpec::Type::kFc) {
+        // Feature-granular: mark each encrypted feature's 4 bytes; the
+        // SecureMap coalesces and the line rule captures mixed lines.
+        for (int r = 0; r < lp->rows; ++r) {
+          if (!lp->row_encrypted(r)) continue;
+          heap.mark_secure(f.base + static_cast<std::uint64_t>(r) * 4, 4);
+          secure_bytes_ += 4;
+        }
+      } else {
+        const int channels = std::min(f.channels, lp->rows);
+        for (int c = 0; c < channels; ++c) {
+          if (!lp->row_encrypted(c)) continue;
+          heap.mark_secure(f.base + static_cast<std::uint64_t>(c) * f.channel_pitch,
+                           f.channel_pitch);
+          secure_bytes_ += f.channel_pitch;
+        }
+      }
+    }
+    // The network output is always encrypted under SEAL.
+    const Fmap& out = fmaps[specs.size()];
+    heap.mark_secure(out.base, out.channel_pitch * static_cast<std::uint64_t>(out.channels));
+    secure_bytes_ += out.channel_pitch * static_cast<std::uint64_t>(out.channels);
+  }
+
+  // Allocate weights (input-channel-major rows) and assemble addressing.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const LayerSpec& s = specs[i];
+    LayerAddressing addressing;
+    addressing.spec = s;
+    addressing.ifmap_base = fmaps[i].base;
+    addressing.ifmap_channel_pitch = fmaps[i].channel_pitch;
+    addressing.ifmap_channels = fmaps[i].channels;
+    addressing.ofmap_base = fmaps[i + 1].base;
+    addressing.ofmap_channel_pitch = fmaps[i + 1].channel_pitch;
+    addressing.ofmap_channels = fmaps[i + 1].channels;
+
+    if (s.type != LayerSpec::Type::kPool) {
+      int rows, row_payload;
+      if (s.type == LayerSpec::Type::kConv) {
+        rows = s.in_channels;
+        row_payload = s.out_channels * s.kernel * s.kernel * 4;
+      } else {
+        rows = s.in_features;
+        row_payload = s.out_features * 4;
+      }
+      addressing.weight_row_bytes = static_cast<std::uint64_t>(row_payload);
+      addressing.weight_row_pitch = align_line(addressing.weight_row_bytes);
+      const std::uint64_t size =
+          addressing.weight_row_pitch * static_cast<std::uint64_t>(rows);
+      addressing.weight_base = heap.malloc(size).addr;
+      total_bytes_ += size;
+
+      if (plan) {
+        const LayerPlan& lp = plan->layer(static_cast<std::size_t>(plan_index[i]));
+        for (int r = 0; r < rows && r < lp.rows; ++r) {
+          if (!lp.row_encrypted(r)) continue;
+          heap.mark_secure(
+              addressing.weight_base + static_cast<std::uint64_t>(r) * addressing.weight_row_pitch,
+              addressing.weight_row_pitch);
+          secure_bytes_ += addressing.weight_row_pitch;
+        }
+      }
+    }
+    layers_.push_back(addressing);
+  }
+}
+
+}  // namespace sealdl::core

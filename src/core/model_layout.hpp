@@ -1,0 +1,61 @@
+// Placement of a network's weights and feature maps into the simulated
+// physical address space, with per-row / per-channel secure marking.
+//
+// Layout choices that make selective encryption range-based:
+//  * conv weights are stored input-channel-major (kernel row r contiguous),
+//    so an encrypted row is one address range;
+//  * feature maps are channel-major with each channel padded to a cache line,
+//    so an encrypted channel is one line-aligned range.
+//
+// Feature-map encryption follows the consumer rule (§III-A): the channels of
+// the fmap feeding weight layer L are encrypted exactly where L's kernel rows
+// are. POOL layers pass channel markings through; the final network output is
+// fully encrypted (the paper's example encrypts Z).
+#pragma once
+
+#include <vector>
+
+#include "core/encryption_plan.hpp"
+#include "core/secure_heap.hpp"
+#include "models/layer_spec.hpp"
+
+namespace sealdl::core {
+
+struct LayerAddressing {
+  models::LayerSpec spec;
+
+  sim::Addr weight_base = 0;
+  std::uint64_t weight_row_pitch = 0;  ///< line-aligned bytes per kernel row
+  std::uint64_t weight_row_bytes = 0;  ///< payload bytes per kernel row
+
+  sim::Addr ifmap_base = 0;
+  std::uint64_t ifmap_channel_pitch = 0;
+  sim::Addr ofmap_base = 0;
+  std::uint64_t ofmap_channel_pitch = 0;
+  int ifmap_channels = 0;
+  int ofmap_channels = 0;
+};
+
+class ModelLayout {
+ public:
+  /// Lays `specs` out on `heap`. When `plan` is non-null (SEAL configs) its
+  /// per-layer row sets drive the secure-range marking; the plan must have
+  /// one entry per CONV/FC spec (POOLs excluded). When null, no ranges are
+  /// marked (Baseline / full-encryption configs ignore the map anyway).
+  ModelLayout(const std::vector<models::LayerSpec>& specs,
+              const EncryptionPlan* plan, SecureHeap& heap);
+
+  [[nodiscard]] const std::vector<LayerAddressing>& layers() const { return layers_; }
+
+  /// Bytes of weights + fmaps that were marked secure.
+  [[nodiscard]] std::uint64_t secure_bytes() const { return secure_bytes_; }
+  /// Total bytes placed.
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::vector<LayerAddressing> layers_;
+  std::uint64_t secure_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace sealdl::core

@@ -1,0 +1,34 @@
+#include "core/secure_heap.hpp"
+
+namespace sealdl::core {
+
+SecureHeap::SecureHeap(sim::Addr base, std::uint64_t capacity, std::uint64_t alignment)
+    : base_(base), capacity_(capacity), alignment_(alignment), next_(base) {
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0) {
+    throw std::invalid_argument("SecureHeap: alignment must be a power of two");
+  }
+}
+
+Allocation SecureHeap::allocate(std::uint64_t size) {
+  if (size == 0) throw std::invalid_argument("SecureHeap: zero-size allocation");
+  const sim::Addr addr = (next_ + alignment_ - 1) & ~(alignment_ - 1);
+  if (addr + size > base_ + capacity_) {
+    throw std::bad_alloc();
+  }
+  next_ = addr + size;
+  return Allocation{addr, size};
+}
+
+Allocation SecureHeap::malloc(std::uint64_t size) { return allocate(size); }
+
+Allocation SecureHeap::emalloc(std::uint64_t size) {
+  const Allocation a = allocate(size);
+  map_.add_range(a.addr, a.size);
+  return a;
+}
+
+void SecureHeap::mark_secure(sim::Addr addr, std::uint64_t size) {
+  map_.add_range(addr, size);
+}
+
+}  // namespace sealdl::core

@@ -1,0 +1,54 @@
+// The emalloc()/malloc() programming primitive (paper §III-A, last paragraph).
+//
+// SEAL exposes a new allocation primitive to programmers: memory obtained via
+// emalloc() is encrypted on the bus; memory from plain malloc() is not. The
+// SecureHeap is a bump allocator over the simulated physical address space
+// that records emalloc ranges in a sim::SecureMap, which both the timing
+// memory controllers and the functional memory consult.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/secure_map.hpp"
+
+namespace sealdl::core {
+
+struct Allocation {
+  sim::Addr addr = 0;
+  std::uint64_t size = 0;
+};
+
+class SecureHeap {
+ public:
+  /// Manages [base, base+capacity). Allocations are aligned to `alignment`
+  /// (default: one cache line, so a line never mixes secure and plain data).
+  explicit SecureHeap(sim::Addr base = 0x1000'0000,
+                      std::uint64_t capacity = 2ULL << 30,
+                      std::uint64_t alignment = 128);
+
+  /// Plain allocation: traffic to it bypasses the AES engines.
+  Allocation malloc(std::uint64_t size);
+
+  /// Encrypted allocation: the range is registered in the secure map.
+  Allocation emalloc(std::uint64_t size);
+
+  /// Marks a sub-range of an existing allocation secure (used for per-row /
+  /// per-channel selective encryption within one tensor buffer).
+  void mark_secure(sim::Addr addr, std::uint64_t size);
+
+  [[nodiscard]] const sim::SecureMap& secure_map() const { return map_; }
+  [[nodiscard]] std::uint64_t bytes_allocated() const { return next_ - base_; }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  Allocation allocate(std::uint64_t size);
+
+  sim::Addr base_;
+  std::uint64_t capacity_;
+  std::uint64_t alignment_;
+  sim::Addr next_;
+  sim::SecureMap map_;
+};
+
+}  // namespace sealdl::core

@@ -1,0 +1,35 @@
+#include "core/weight_layers.hpp"
+
+#include "nn/network.hpp"
+
+namespace sealdl::core {
+
+std::vector<WeightLayerRef> collect_weight_layers(nn::Layer& model) {
+  std::vector<WeightLayerRef> out;
+  nn::visit_leaf_layers(model, [&out](nn::Layer& layer) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      WeightLayerRef ref;
+      ref.layer = conv;
+      ref.weight = &conv->weight();
+      ref.is_conv = true;
+      ref.rows = conv->in_channels();
+      ref.cols = conv->out_channels();
+      ref.weights_per_cell = conv->kernel() * conv->kernel();
+      out.push_back(ref);
+      return;
+    }
+    if (auto* linear = dynamic_cast<nn::Linear*>(&layer)) {
+      WeightLayerRef ref;
+      ref.layer = linear;
+      ref.weight = &linear->weight();
+      ref.is_conv = false;
+      ref.rows = linear->in_features();
+      ref.cols = linear->out_features();
+      ref.weights_per_cell = 1;
+      out.push_back(ref);
+    }
+  });
+  return out;
+}
+
+}  // namespace sealdl::core

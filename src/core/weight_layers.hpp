@@ -1,0 +1,29 @@
+// Uniform view of a model's weight layers (CONV + FC) for the SE scheme.
+//
+// The paper's kernel-matrix abstraction (§III-A): a CONV layer's weights form
+// a matrix with n_y kernel *rows* (one per input channel) and n_x kernel
+// *columns* (one per output channel); an FC layer is the same with 1x1
+// kernels. SEAL ranks and encrypts kernel rows.
+#pragma once
+
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "nn/basic_layers.hpp"
+#include "nn/layer.hpp"
+
+namespace sealdl::core {
+
+struct WeightLayerRef {
+  nn::Layer* layer = nullptr;
+  nn::Param* weight = nullptr;
+  bool is_conv = false;
+  int rows = 0;          ///< input channels (kernel rows)
+  int cols = 0;          ///< output channels (kernel columns)
+  int weights_per_cell = 1;  ///< k*k for conv, 1 for fc
+};
+
+/// Collects every Conv2d and Linear leaf of `model`, in forward order.
+std::vector<WeightLayerRef> collect_weight_layers(nn::Layer& model);
+
+}  // namespace sealdl::core

@@ -1,0 +1,48 @@
+// AES-128 block cipher, implemented from FIPS-197.
+//
+// This is the *functional* half of the memory-encryption engine: the timing
+// half lives in sim/aes_pipeline.hpp. Having a real cipher means the simulated
+// memory bus carries genuine ciphertext, so the bus-snooping attack in
+// src/attack observes exactly what a hardware probe would.
+//
+// The implementation is a straightforward table-free byte-oriented AES: S-box
+// lookups plus xtime() for MixColumns. It is not constant-time-hardened (the
+// simulator is not a production TLS stack), but it is exact: the unit tests
+// check the FIPS-197 appendix vectors and NIST SP 800-38A mode vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sealdl::crypto {
+
+/// One 16-byte AES block.
+using Block = std::array<std::uint8_t, 16>;
+
+/// 128-bit key.
+using Key128 = std::array<std::uint8_t, 16>;
+
+/// Expanded key schedule + block encrypt/decrypt.
+class Aes128 {
+ public:
+  explicit Aes128(const Key128& key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(Block& block) const;
+
+  /// Decrypts one 16-byte block in place.
+  void decrypt_block(Block& block) const;
+
+  /// Number of round keys (Nr + 1 = 11 for AES-128).
+  static constexpr int kRounds = 10;
+
+  /// Exposed for unit tests against the FIPS-197 key-expansion vectors.
+  [[nodiscard]] const std::array<Block, kRounds + 1>& round_keys() const {
+    return round_keys_;
+  }
+
+ private:
+  std::array<Block, kRounds + 1> round_keys_{};
+};
+
+}  // namespace sealdl::crypto

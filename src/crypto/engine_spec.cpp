@@ -1,0 +1,22 @@
+#include "crypto/engine_spec.hpp"
+
+namespace sealdl::crypto {
+
+EngineSpec default_engine() {
+  // §IV-A: "a pipeline AES encryption engine with 128-bit block [15], in which
+  // the overall AES encryption latency for a cache line is 20 cycles and the
+  // bandwidth of each AES engine is 8GB/s."
+  return EngineSpec{"SEAL-default (Mathew-style pipelined)", 1.1, 125.0, 20, 8.0};
+}
+
+std::vector<EngineSpec> table1_engines() {
+  return {
+      {"Morioka et al. [16]", -1.0, 1920.0, 10, 1.5},
+      {"Mathew et al. [15]", 1.1, 125.0, 20, 6.6},
+      {"Ensilica [3]", 1.4, -1.0, 11, 8.0},
+      {"Sayilar et al. [21]", 6.3, 6207.0, 20, 16.0},
+      {"Liu et al. [14]", 6.6, 1580.0, 152, 19.0},
+  };
+}
+
+}  // namespace sealdl::crypto

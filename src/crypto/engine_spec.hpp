@@ -1,0 +1,39 @@
+// Timing/cost descriptions of published hardware AES engines (paper Table I).
+//
+// The cycle-level simulator consumes an EngineSpec to model the encryption
+// pipeline in each memory controller; the Table I bench prints the published
+// figures next to the throughput measured in simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sealdl::crypto {
+
+/// Published parameters of one hardware AES implementation.
+///
+/// `latency_cycles` and the derived bytes-per-cycle are expressed in the
+/// simulator's core clock domain (700 MHz, see sim/gpu_config.hpp); the paper
+/// quotes latency in engine cycles for a cache line and throughput in GB/s.
+struct EngineSpec {
+  std::string name;            ///< publication tag
+  double area_mm2;             ///< die area; <0 means not reported
+  double power_mw;             ///< power; <0 means not reported
+  int latency_cycles;          ///< pipeline fill latency for one cache line
+  double throughput_gbps;      ///< sustained bandwidth in GB/s
+
+  /// Sustained engine bandwidth in bytes per core cycle at `core_mhz`.
+  [[nodiscard]] double bytes_per_cycle(double core_mhz) const {
+    return throughput_gbps * 1e9 / (core_mhz * 1e6);
+  }
+};
+
+/// The engine the paper models for SEAL (Mathew et al. pipelined, 20-cycle
+/// cache-line latency, 8 GB/s sustained — §IV-A).
+EngineSpec default_engine();
+
+/// All rows of paper Table I, in publication order.
+std::vector<EngineSpec> table1_engines();
+
+}  // namespace sealdl::crypto

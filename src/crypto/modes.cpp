@@ -1,0 +1,80 @@
+#include "crypto/modes.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace sealdl::crypto {
+
+namespace {
+
+Block make_tweak_block(std::uint64_t line_addr, std::uint64_t salt) {
+  Block b{};
+  for (int i = 0; i < 8; ++i) {
+    b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(line_addr >> (8 * i));
+    b[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(salt >> (8 * i));
+  }
+  return b;
+}
+
+}  // namespace
+
+void direct_encrypt_line(const Aes128& aes, std::uint64_t line_addr,
+                         std::span<std::uint8_t> data) {
+  assert(data.size() == kLineBytes);
+  for (std::size_t i = 0; i < kBlocksPerLine; ++i) {
+    Block tweak = make_tweak_block(line_addr, i);
+    aes.encrypt_block(tweak);  // E_K(addr || i): per-block whitening mask
+    Block block;
+    std::memcpy(block.data(), data.data() + 16 * i, 16);
+    for (std::size_t j = 0; j < 16; ++j) block[j] ^= tweak[j];
+    aes.encrypt_block(block);
+    for (std::size_t j = 0; j < 16; ++j) block[j] ^= tweak[j];
+    std::memcpy(data.data() + 16 * i, block.data(), 16);
+  }
+}
+
+void direct_decrypt_line(const Aes128& aes, std::uint64_t line_addr,
+                         std::span<std::uint8_t> data) {
+  assert(data.size() == kLineBytes);
+  for (std::size_t i = 0; i < kBlocksPerLine; ++i) {
+    Block tweak = make_tweak_block(line_addr, i);
+    aes.encrypt_block(tweak);
+    Block block;
+    std::memcpy(block.data(), data.data() + 16 * i, 16);
+    for (std::size_t j = 0; j < 16; ++j) block[j] ^= tweak[j];
+    aes.decrypt_block(block);
+    for (std::size_t j = 0; j < 16; ++j) block[j] ^= tweak[j];
+    std::memcpy(data.data() + 16 * i, block.data(), 16);
+  }
+}
+
+void counter_transform_line(const Aes128& aes, std::uint64_t line_addr,
+                            std::uint64_t counter, std::span<std::uint8_t> data) {
+  assert(data.size() == kLineBytes);
+  for (std::size_t i = 0; i < kBlocksPerLine; ++i) {
+    // Pad input: (line address, counter) is unique per write of this line and
+    // the block index distinguishes blocks within the line.
+    Block pad = make_tweak_block(line_addr ^ (static_cast<std::uint64_t>(i) << 56), counter);
+    aes.encrypt_block(pad);
+    for (std::size_t j = 0; j < 16; ++j) data[16 * i + j] ^= pad[j];
+  }
+}
+
+void ctr_keystream_xor(const Aes128& aes, const Block& initial_counter,
+                       std::span<std::uint8_t> data) {
+  Block counter = initial_counter;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    Block pad = counter;
+    aes.encrypt_block(pad);
+    const std::size_t n = std::min<std::size_t>(16, data.size() - offset);
+    for (std::size_t j = 0; j < n; ++j) data[offset + j] ^= pad[j];
+    offset += n;
+    // Big-endian increment of the trailing 32 bits (SP 800-38A convention).
+    for (int i = 15; i >= 12; --i) {
+      if (++counter[static_cast<std::size_t>(i)] != 0) break;
+    }
+  }
+}
+
+}  // namespace sealdl::crypto

@@ -1,0 +1,50 @@
+// Memory-encryption modes over 128-byte cache lines.
+//
+// Two modes from the paper (following Yan et al., ISCA'06):
+//
+//  * Direct encryption — the line payload itself goes through AES. We use an
+//    address-tweaked ECB (XEX-style): each 16-byte block is XORed with an
+//    AES-encrypted tweak derived from (line address, block index) before and
+//    after the cipher, so identical plaintext at different addresses yields
+//    different ciphertext. Decryption requires the inverse cipher.
+//
+//  * Counter-mode encryption — AES encrypts a (line address, per-line counter,
+//    block index) tuple to produce a one-time pad that is XORed with the data.
+//    The pad can be computed while the data is still in flight from DRAM
+//    (latency advantage), but each line still costs 8 AES block operations
+//    (bandwidth cost), and the counters themselves live in memory.
+//
+// Also includes a plain CTR keystream used by the SP 800-38A conformance tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/aes128.hpp"
+
+namespace sealdl::crypto {
+
+/// Cache-line geometry shared by the whole system.
+inline constexpr std::size_t kLineBytes = 128;
+inline constexpr std::size_t kBlocksPerLine = kLineBytes / 16;
+
+/// Address-tweaked direct encryption of one cache line, in place.
+/// `data.size()` must be kLineBytes.
+void direct_encrypt_line(const Aes128& aes, std::uint64_t line_addr,
+                         std::span<std::uint8_t> data);
+
+/// Inverse of direct_encrypt_line.
+void direct_decrypt_line(const Aes128& aes, std::uint64_t line_addr,
+                         std::span<std::uint8_t> data);
+
+/// Counter-mode transform of one cache line, in place. Encryption and
+/// decryption are the same operation (XOR with the pad).
+void counter_transform_line(const Aes128& aes, std::uint64_t line_addr,
+                            std::uint64_t counter, std::span<std::uint8_t> data);
+
+/// Standard NIST CTR mode over an arbitrary buffer with a 16-byte initial
+/// counter block (big-endian increment of the low 32 bits per SP 800-38A).
+void ctr_keystream_xor(const Aes128& aes, const Block& initial_counter,
+                       std::span<std::uint8_t> data);
+
+}  // namespace sealdl::crypto

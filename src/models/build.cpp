@@ -1,0 +1,129 @@
+#include "models/build.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/basic_layers.hpp"
+#include "nn/conv2d.hpp"
+
+namespace sealdl::models {
+
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::LayerPtr;
+using nn::Linear;
+using nn::MaxPool2d;
+using nn::ReLU;
+using nn::ResidualBlock;
+using nn::Sequential;
+
+namespace {
+int scaled(int channels, int width_div) { return std::max(4, channels / width_div); }
+}  // namespace
+
+std::unique_ptr<Sequential> build_vgg16(const BuildOptions& options) {
+  util::Rng rng(options.seed);
+  auto net = std::make_unique<Sequential>();
+  const int widths[5] = {64, 128, 256, 512, 512};
+  const int convs_per_block[5] = {2, 2, 3, 3, 3};
+  int in_ch = options.input_channels;
+  int hw = options.input_hw;
+  for (int block = 0; block < 5; ++block) {
+    const int out_ch = scaled(widths[block], options.width_div);
+    for (int i = 0; i < convs_per_block[block]; ++i) {
+      net->add(std::make_unique<Conv2d>(in_ch, out_ch, 3, 1, 1, true, rng));
+      // Batch norm keeps the 13-conv stack trainable from scratch (the
+      // common CIFAR-VGG recipe); it adds no kernel rows, so the SE plan is
+      // unaffected.
+      net->add(std::make_unique<BatchNorm2d>(out_ch));
+      net->add(std::make_unique<ReLU>());
+      in_ch = out_ch;
+    }
+    if (hw >= 2 && hw % 2 == 0) {
+      net->add(std::make_unique<MaxPool2d>(2));
+      hw /= 2;
+    }
+  }
+  net->add(std::make_unique<Flatten>());
+  const int features = in_ch * hw * hw;
+  const int hidden = scaled(4096, options.width_div * 8);
+  net->add(std::make_unique<Linear>(features, hidden, true, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Linear>(hidden, hidden, true, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Linear>(hidden, options.classes, true, rng));
+  return net;
+}
+
+namespace {
+
+LayerPtr basic_block(int in_ch, int out_ch, int stride, util::Rng& rng) {
+  auto main_path = std::make_unique<Sequential>();
+  main_path->add(std::make_unique<Conv2d>(in_ch, out_ch, 3, stride, 1, false, rng));
+  main_path->add(std::make_unique<BatchNorm2d>(out_ch));
+  main_path->add(std::make_unique<ReLU>());
+  main_path->add(std::make_unique<Conv2d>(out_ch, out_ch, 3, 1, 1, false, rng));
+  main_path->add(std::make_unique<BatchNorm2d>(out_ch));
+
+  LayerPtr shortcut;
+  if (stride != 1 || in_ch != out_ch) {
+    auto proj = std::make_unique<Sequential>();
+    proj->add(std::make_unique<Conv2d>(in_ch, out_ch, 1, stride, 0, false, rng));
+    proj->add(std::make_unique<BatchNorm2d>(out_ch));
+    shortcut = std::move(proj);
+  }
+  return std::make_unique<ResidualBlock>(std::move(main_path), std::move(shortcut));
+}
+
+std::unique_ptr<Sequential> build_resnet(const int blocks_per_stage[4],
+                                         const BuildOptions& options) {
+  util::Rng rng(options.seed);
+  auto net = std::make_unique<Sequential>();
+  const int stem = scaled(64, options.width_div);
+  net->add(std::make_unique<Conv2d>(options.input_channels, stem, 3, 1, 1, false, rng));
+  net->add(std::make_unique<BatchNorm2d>(stem));
+  net->add(std::make_unique<ReLU>());
+
+  const int widths[4] = {64, 128, 256, 512};
+  int in_ch = stem;
+  int hw = options.input_hw;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int out_ch = scaled(widths[stage], options.width_div);
+    for (int b = 0; b < blocks_per_stage[stage]; ++b) {
+      // Downsample at the head of stages 2..4, but only while spatial size
+      // permits (small-input variants stop shrinking at 2x2).
+      int stride = (stage > 0 && b == 0 && hw >= 4) ? 2 : 1;
+      net->add(basic_block(in_ch, out_ch, stride, rng));
+      if (stride == 2) hw /= 2;
+      in_ch = out_ch;
+    }
+  }
+  net->add(std::make_unique<GlobalAvgPool>());
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Linear>(in_ch, options.classes, true, rng));
+  return net;
+}
+
+}  // namespace
+
+std::unique_ptr<Sequential> build_resnet18(const BuildOptions& options) {
+  const int blocks[4] = {2, 2, 2, 2};
+  return build_resnet(blocks, options);
+}
+
+std::unique_ptr<Sequential> build_resnet34(const BuildOptions& options) {
+  const int blocks[4] = {3, 4, 6, 3};
+  return build_resnet(blocks, options);
+}
+
+std::unique_ptr<Sequential> build_model(const std::string& name,
+                                        const BuildOptions& options) {
+  if (name == "vgg16") return build_vgg16(options);
+  if (name == "resnet18") return build_resnet18(options);
+  if (name == "resnet34") return build_resnet34(options);
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace sealdl::models

@@ -1,0 +1,40 @@
+// Trainable instances of the paper's three CNNs.
+//
+// The builders accept a width divisor so that the security experiments
+// (victim/substitute training in pure C++) run at laptop speed while keeping
+// the exact layer *structure* — 13/17/33 CONV layers plus FC head — which is
+// what SEAL's per-layer row ranking operates on. width_div=1 reproduces the
+// full published channel counts.
+#pragma once
+
+#include <memory>
+
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace sealdl::models {
+
+struct BuildOptions {
+  int classes = 10;
+  int input_channels = 3;
+  int input_hw = 16;   ///< square input resolution
+  int width_div = 8;   ///< divide every published channel count by this
+  std::uint64_t seed = 1;
+};
+
+/// VGG-16: 13 conv (2-2-3-3-3 blocks) + 3 FC. Max-pool follows each block
+/// while the spatial size allows it.
+std::unique_ptr<nn::Sequential> build_vgg16(const BuildOptions& options);
+
+/// ResNet-18: 3x3 stem + stages [2,2,2,2] of basic blocks + GAP + FC
+/// (CIFAR-style stem: stride-1 3x3, no stem max-pool).
+std::unique_ptr<nn::Sequential> build_resnet18(const BuildOptions& options);
+
+/// ResNet-34: stages [3,4,6,3].
+std::unique_ptr<nn::Sequential> build_resnet34(const BuildOptions& options);
+
+/// Builds by name: "vgg16" | "resnet18" | "resnet34".
+std::unique_ptr<nn::Sequential> build_model(const std::string& name,
+                                            const BuildOptions& options);
+
+}  // namespace sealdl::models

@@ -1,0 +1,308 @@
+#include "nn/basic_layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sealdl::nn {
+
+// ---------------------------------------------------------------- Linear ---
+
+Linear::Linear(int in_features, int out_features, bool bias, util::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("linear.weight", Tensor({out_features, in_features})),
+      bias_(bias ? Param("linear.bias", Tensor({1, out_features}))
+                 : Param("linear.bias")) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+  for (std::size_t i = 0; i < weight_.value.numel(); ++i) {
+    weight_.value[i] = rng.normal(0.0f, stddev);
+  }
+}
+
+Tensor Linear::forward(const Tensor& input, bool train) {
+  if (input.ndim() != 2 || input.dim(1) != in_features_) {
+    throw std::invalid_argument("linear: bad input shape " + input.shape_str());
+  }
+  const int batch = input.dim(0);
+  Tensor out({batch, out_features_});
+  for (int n = 0; n < batch; ++n) {
+    const float* x = input.data() + static_cast<std::size_t>(n) * static_cast<std::size_t>(in_features_);
+    for (int o = 0; o < out_features_; ++o) {
+      const float* w = weight_.value.data() + static_cast<std::size_t>(o) * static_cast<std::size_t>(in_features_);
+      float acc = has_bias() ? bias_.value[static_cast<std::size_t>(o)] : 0.0f;
+      for (int i = 0; i < in_features_; ++i) acc += w[i] * x[i];
+      out.at2(n, o) = acc;
+    }
+  }
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  if (input.empty()) throw std::logic_error("linear: backward without forward");
+  const int batch = input.dim(0);
+  Tensor grad_input({batch, in_features_});
+  for (int n = 0; n < batch; ++n) {
+    const float* x = input.data() + static_cast<std::size_t>(n) * static_cast<std::size_t>(in_features_);
+    float* gx = grad_input.data() + static_cast<std::size_t>(n) * static_cast<std::size_t>(in_features_);
+    for (int o = 0; o < out_features_; ++o) {
+      const float go = grad_output.at2(n, o);
+      if (has_bias()) bias_.grad[static_cast<std::size_t>(o)] += go;
+      const float* w = weight_.value.data() + static_cast<std::size_t>(o) * static_cast<std::size_t>(in_features_);
+      float* gw = weight_.grad.data() + static_cast<std::size_t>(o) * static_cast<std::size_t>(in_features_);
+      for (int i = 0; i < in_features_; ++i) {
+        gw[i] += go * x[i];
+        gx[i] += go * w[i];
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias()) out.push_back(&bias_);
+  return out;
+}
+
+// ------------------------------------------------------------------ ReLU ---
+
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) out[i] = std::max(0.0f, out[i]);
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    if (cached_input_[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+// --------------------------------------------------------------- Flatten ---
+
+Tensor Flatten::forward(const Tensor& input, bool train) {
+  if (train) cached_shape_ = input.shape();
+  const int batch = input.dim(0);
+  const int features = static_cast<int>(input.numel()) / batch;
+  return input.reshaped({batch, features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_shape_);
+}
+
+// ------------------------------------------------------------- MaxPool2d ---
+
+Tensor MaxPool2d::forward(const Tensor& input, bool train) {
+  const int batch = input.dim(0), channels = input.dim(1);
+  const int ih = input.dim(2), iw = input.dim(3);
+  if (ih % window_ != 0 || iw % window_ != 0) {
+    throw std::invalid_argument("maxpool: input not divisible by window");
+  }
+  const int oh = ih / window_, ow = iw / window_;
+  Tensor out({batch, channels, oh, ow});
+  if (train) {
+    cached_shape_ = input.shape();
+    argmax_.assign(out.numel(), 0);
+  }
+  std::size_t out_idx = 0;
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::uint32_t best_idx = 0;
+          for (int dy = 0; dy < window_; ++dy) {
+            for (int dx = 0; dx < window_; ++dx) {
+              const int in_y = y * window_ + dy, in_x = x * window_ + dx;
+              const float v = input.at4(n, c, in_y, in_x);
+              if (v > best) {
+                best = v;
+                best_idx = static_cast<std::uint32_t>(
+                    ((static_cast<std::size_t>(n) * static_cast<std::size_t>(channels) + static_cast<std::size_t>(c)) *
+                         static_cast<std::size_t>(ih) +
+                     static_cast<std::size_t>(in_y)) *
+                        static_cast<std::size_t>(iw) +
+                    static_cast<std::size_t>(in_x));
+              }
+            }
+          }
+          out[out_idx] = best;
+          if (train) argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_shape_);
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+// --------------------------------------------------------- GlobalAvgPool ---
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool train) {
+  const int batch = input.dim(0), channels = input.dim(1);
+  const int ih = input.dim(2), iw = input.dim(3);
+  if (train) cached_shape_ = input.shape();
+  Tensor out({batch, channels, 1, 1});
+  const float inv = 1.0f / static_cast<float>(ih * iw);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      float acc = 0.0f;
+      for (int y = 0; y < ih; ++y) {
+        for (int x = 0; x < iw; ++x) acc += input.at4(n, c, y, x);
+      }
+      out.at4(n, c, 0, 0) = acc * inv;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_shape_);
+  const int batch = cached_shape_[0], channels = cached_shape_[1];
+  const int ih = cached_shape_[2], iw = cached_shape_[3];
+  const float inv = 1.0f / static_cast<float>(ih * iw);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const float g = grad_output.at4(n, c, 0, 0) * inv;
+      for (int y = 0; y < ih; ++y) {
+        for (int x = 0; x < iw; ++x) grad_input.at4(n, c, y, x) = g;
+      }
+    }
+  }
+  return grad_input;
+}
+
+// ----------------------------------------------------------- BatchNorm2d ---
+
+BatchNorm2d::BatchNorm2d(int channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("bn.gamma", Tensor({1, channels})),
+      beta_("bn.beta", Tensor({1, channels})),
+      running_mean_({1, channels}),
+      running_var_({1, channels}) {
+  gamma_.value.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+  const int batch = input.dim(0), ih = input.dim(2), iw = input.dim(3);
+  const auto per_channel = static_cast<float>(batch * ih * iw);
+  Tensor out = input;
+
+  if (train) {
+    cached_input_ = input;
+    batch_mean_.assign(static_cast<std::size_t>(channels_), 0.0f);
+    batch_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+    cached_xhat_ = input.zeros_like();
+    for (int c = 0; c < channels_; ++c) {
+      float mean = 0.0f;
+      for (int n = 0; n < batch; ++n) {
+        for (int y = 0; y < ih; ++y) {
+          for (int x = 0; x < iw; ++x) mean += input.at4(n, c, y, x);
+        }
+      }
+      mean /= per_channel;
+      float var = 0.0f;
+      for (int n = 0; n < batch; ++n) {
+        for (int y = 0; y < ih; ++y) {
+          for (int x = 0; x < iw; ++x) {
+            const float d = input.at4(n, c, y, x) - mean;
+            var += d * d;
+          }
+        }
+      }
+      var /= per_channel;
+      const float inv_std = 1.0f / std::sqrt(var + eps_);
+      batch_mean_[static_cast<std::size_t>(c)] = mean;
+      batch_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+      running_mean_[static_cast<std::size_t>(c)] =
+          (1.0f - momentum_) * running_mean_[static_cast<std::size_t>(c)] + momentum_ * mean;
+      running_var_[static_cast<std::size_t>(c)] =
+          (1.0f - momentum_) * running_var_[static_cast<std::size_t>(c)] + momentum_ * var;
+      const float g = gamma_.value[static_cast<std::size_t>(c)];
+      const float b = beta_.value[static_cast<std::size_t>(c)];
+      for (int n = 0; n < batch; ++n) {
+        for (int y = 0; y < ih; ++y) {
+          for (int x = 0; x < iw; ++x) {
+            const float xhat = (input.at4(n, c, y, x) - mean) * inv_std;
+            cached_xhat_.at4(n, c, y, x) = xhat;
+            out.at4(n, c, y, x) = g * xhat + b;
+          }
+        }
+      }
+    }
+  } else {
+    for (int c = 0; c < channels_; ++c) {
+      const float inv_std = 1.0f / std::sqrt(running_var_[static_cast<std::size_t>(c)] + eps_);
+      const float mean = running_mean_[static_cast<std::size_t>(c)];
+      const float g = gamma_.value[static_cast<std::size_t>(c)];
+      const float b = beta_.value[static_cast<std::size_t>(c)];
+      for (int n = 0; n < batch; ++n) {
+        for (int y = 0; y < ih; ++y) {
+          for (int x = 0; x < iw; ++x) {
+            out.at4(n, c, y, x) = g * (input.at4(n, c, y, x) - mean) * inv_std + b;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  // Standard batch-norm backward (Ioffe & Szegedy 2015, eq. group in §3).
+  const Tensor& x = cached_input_;
+  if (x.empty()) throw std::logic_error("batchnorm: backward without forward");
+  const int batch = x.dim(0), ih = x.dim(2), iw = x.dim(3);
+  const auto m = static_cast<float>(batch * ih * iw);
+  Tensor grad_input = x.zeros_like();
+
+  for (int c = 0; c < channels_; ++c) {
+    const float inv_std = batch_inv_std_[static_cast<std::size_t>(c)];
+    const float g = gamma_.value[static_cast<std::size_t>(c)];
+    float sum_go = 0.0f, sum_go_xhat = 0.0f;
+    for (int n = 0; n < batch; ++n) {
+      for (int y = 0; y < ih; ++y) {
+        for (int x2 = 0; x2 < iw; ++x2) {
+          const float go = grad_output.at4(n, c, y, x2);
+          sum_go += go;
+          sum_go_xhat += go * cached_xhat_.at4(n, c, y, x2);
+        }
+      }
+    }
+    gamma_.grad[static_cast<std::size_t>(c)] += sum_go_xhat;
+    beta_.grad[static_cast<std::size_t>(c)] += sum_go;
+    for (int n = 0; n < batch; ++n) {
+      for (int y = 0; y < ih; ++y) {
+        for (int x2 = 0; x2 < iw; ++x2) {
+          const float go = grad_output.at4(n, c, y, x2);
+          const float xhat = cached_xhat_.at4(n, c, y, x2);
+          grad_input.at4(n, c, y, x2) =
+              g * inv_std / m * (m * go - sum_go - xhat * sum_go_xhat);
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+}  // namespace sealdl::nn

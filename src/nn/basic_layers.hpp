@@ -1,0 +1,109 @@
+// Small layers: Linear, ReLU, Flatten, MaxPool2d, AvgPool2d (global),
+// BatchNorm2d.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace sealdl::nn {
+
+/// Fully-connected layer; input shape [N, in_features].
+class Linear final : public Layer {
+ public:
+  Linear(int in_features, int out_features, bool bias, util::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override { return "linear"; }
+
+  [[nodiscard]] int in_features() const { return in_features_; }
+  [[nodiscard]] int out_features() const { return out_features_; }
+  Param& weight() { return weight_; }  ///< shape [out, in]
+  Param& bias_param() { return bias_; }
+  [[nodiscard]] bool has_bias() const { return !bias_.value.empty(); }
+
+ private:
+  int in_features_, out_features_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "relu"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// [N, C, H, W] -> [N, C*H*W].
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "flatten"; }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+/// Non-overlapping max pooling with a square window.
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(int window) : window_(window) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "maxpool"; }
+  [[nodiscard]] int window() const { return window_; }
+
+ private:
+  int window_;
+  std::vector<int> cached_shape_;
+  std::vector<std::uint32_t> argmax_;  ///< flat input index per output element
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C, 1, 1].
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "gavgpool"; }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+/// Batch normalisation over channels of a [N, C, H, W] tensor.
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(int channels, float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override { return "batchnorm"; }
+
+  [[nodiscard]] int channels() const { return channels_; }
+
+  /// Running statistics (inference-mode state, not trainable parameters).
+  /// Exposed so model cloning (attack substitutes, serialization) can carry
+  /// the full inference state, not just the affine weights.
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  int channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // Cached training-pass state for backward().
+  Tensor cached_input_, cached_xhat_;
+  std::vector<float> batch_mean_, batch_inv_std_;
+};
+
+}  // namespace sealdl::nn

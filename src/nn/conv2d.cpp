@@ -1,0 +1,114 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sealdl::nn {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int padding, bool bias, util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_("conv.weight", Tensor({out_channels, in_channels, kernel, kernel})),
+      bias_(bias ? Param("conv.bias", Tensor({1, out_channels}))
+                 : Param("conv.bias")) {
+  // He (Kaiming) normal initialisation, as the paper's substitute models use
+  // for the unknown weights [7].
+  const float stddev =
+      std::sqrt(2.0f / (static_cast<float>(in_channels) * static_cast<float>(kernel) * static_cast<float>(kernel)));
+  for (std::size_t i = 0; i < weight_.value.numel(); ++i) {
+    weight_.value[i] = rng.normal(0.0f, stddev);
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool train) {
+  if (input.ndim() != 4 || input.dim(1) != in_channels_) {
+    throw std::invalid_argument("conv2d: bad input shape " + input.shape_str());
+  }
+  const int batch = input.dim(0), ih = input.dim(2), iw = input.dim(3);
+  const int oh = (ih + 2 * padding_ - kernel_) / stride_ + 1;
+  const int ow = (iw + 2 * padding_ - kernel_) / stride_ + 1;
+  Tensor out({batch, out_channels_, oh, ow});
+
+  for (int n = 0; n < batch; ++n) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      if (has_bias()) {
+        const float b = bias_.value[static_cast<std::size_t>(oc)];
+        for (int y = 0; y < oh; ++y) {
+          for (int x = 0; x < ow; ++x) out.at4(n, oc, y, x) = b;
+        }
+      }
+      for (int ic = 0; ic < in_channels_; ++ic) {
+        for (int kh = 0; kh < kernel_; ++kh) {
+          for (int kw = 0; kw < kernel_; ++kw) {
+            const float w = weight_.value.at4(oc, ic, kh, kw);
+            if (w == 0.0f) continue;
+            for (int y = 0; y < oh; ++y) {
+              const int in_y = y * stride_ + kh - padding_;
+              if (in_y < 0 || in_y >= ih) continue;
+              for (int x = 0; x < ow; ++x) {
+                const int in_x = x * stride_ + kw - padding_;
+                if (in_x < 0 || in_x >= iw) continue;
+                out.at4(n, oc, y, x) += w * input.at4(n, ic, in_y, in_x);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  if (input.empty()) throw std::logic_error("conv2d: backward without forward");
+  const int batch = input.dim(0), ih = input.dim(2), iw = input.dim(3);
+  const int oh = grad_output.dim(2), ow = grad_output.dim(3);
+  Tensor grad_input = input.zeros_like();
+
+  for (int n = 0; n < batch; ++n) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      if (has_bias()) {
+        float gb = 0.0f;
+        for (int y = 0; y < oh; ++y) {
+          for (int x = 0; x < ow; ++x) gb += grad_output.at4(n, oc, y, x);
+        }
+        bias_.grad[static_cast<std::size_t>(oc)] += gb;
+      }
+      for (int ic = 0; ic < in_channels_; ++ic) {
+        for (int kh = 0; kh < kernel_; ++kh) {
+          for (int kw = 0; kw < kernel_; ++kw) {
+            float gw = 0.0f;
+            const float w = weight_.value.at4(oc, ic, kh, kw);
+            for (int y = 0; y < oh; ++y) {
+              const int in_y = y * stride_ + kh - padding_;
+              if (in_y < 0 || in_y >= ih) continue;
+              for (int x = 0; x < ow; ++x) {
+                const int in_x = x * stride_ + kw - padding_;
+                if (in_x < 0 || in_x >= iw) continue;
+                const float go = grad_output.at4(n, oc, y, x);
+                gw += go * input.at4(n, ic, in_y, in_x);
+                grad_input.at4(n, ic, in_y, in_x) += go * w;
+              }
+            }
+            weight_.grad.at4(oc, ic, kh, kw) += gw;
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias()) out.push_back(&bias_);
+  return out;
+}
+
+}  // namespace sealdl::nn

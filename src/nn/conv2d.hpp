@@ -1,0 +1,41 @@
+// 2-D convolution with square kernels, stride and zero padding.
+//
+// Weight layout is [out_channels, in_channels, k, k]: the paper's "kernel
+// matrix" has n_y kernel rows (one per input channel) and n_x kernel columns
+// (one per output channel); kernel row r of this layer is the slice
+// weight[:, r, :, :] (see core/importance.hpp).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace sealdl::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, int padding,
+         bool bias, util::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override { return "conv2d"; }
+
+  [[nodiscard]] int in_channels() const { return in_channels_; }
+  [[nodiscard]] int out_channels() const { return out_channels_; }
+  [[nodiscard]] int kernel() const { return kernel_; }
+  [[nodiscard]] int stride() const { return stride_; }
+  [[nodiscard]] int padding() const { return padding_; }
+
+  Param& weight() { return weight_; }
+  Param& bias_param() { return bias_; }
+  [[nodiscard]] bool has_bias() const { return !bias_.value.empty(); }
+
+ private:
+  int in_channels_, out_channels_, kernel_, stride_, padding_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace sealdl::nn

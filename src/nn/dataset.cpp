@@ -1,0 +1,132 @@
+#include "nn/dataset.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace sealdl::nn {
+
+namespace {
+constexpr float kPi = 3.14159265358979323846f;
+}
+
+SyntheticDataset::SyntheticDataset(const DatasetConfig& config) : config_(config) {
+  const int C = config_.channels, H = config_.height, W = config_.width;
+  const std::size_t per_sample = sample_floats();
+  images_.resize(static_cast<std::size_t>(config_.samples) * per_sample);
+  labels_.resize(static_cast<std::size_t>(config_.samples));
+
+  // Build class prototypes from class-seeded generators so that the class
+  // structure is stable regardless of sample count.
+  std::vector<std::vector<float>> prototypes(static_cast<std::size_t>(config_.classes));
+  for (int cls = 0; cls < config_.classes; ++cls) {
+    util::Rng rng(config_.seed * 1000003ULL + static_cast<std::uint64_t>(cls));
+    auto& proto = prototypes[static_cast<std::size_t>(cls)];
+    proto.assign(per_sample, 0.0f);
+    // Three gratings with class-specific frequency/orientation per channel,
+    // plus two Gaussian blobs; gives classes distinct, learnable structure.
+    for (int c = 0; c < C; ++c) {
+      const float fx = rng.uniform(0.5f, 3.0f);
+      const float fy = rng.uniform(0.5f, 3.0f);
+      const float phase = rng.uniform(0.0f, 2.0f * kPi);
+      const float amp = rng.uniform(0.4f, 0.8f);
+      for (int y = 0; y < H; ++y) {
+        for (int x = 0; x < W; ++x) {
+          const float u = static_cast<float>(x) / static_cast<float>(W);
+          const float v = static_cast<float>(y) / static_cast<float>(H);
+          proto[(static_cast<std::size_t>(c) * static_cast<std::size_t>(H) + static_cast<std::size_t>(y)) * static_cast<std::size_t>(W) + static_cast<std::size_t>(x)] +=
+              amp * std::sin(2.0f * kPi * (fx * u + fy * v) + phase);
+        }
+      }
+    }
+    for (int blob = 0; blob < 2; ++blob) {
+      const float cx = rng.uniform(0.2f, 0.8f) * static_cast<float>(W);
+      const float cy = rng.uniform(0.2f, 0.8f) * static_cast<float>(H);
+      const float sigma = rng.uniform(1.0f, 2.5f);
+      const float amp = rng.uniform(0.5f, 1.0f) * (blob == 0 ? 1.0f : -1.0f);
+      const int ch = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(C)));
+      for (int y = 0; y < H; ++y) {
+        for (int x = 0; x < W; ++x) {
+          const float dx = static_cast<float>(x) - cx, dy = static_cast<float>(y) - cy;
+          proto[(static_cast<std::size_t>(ch) * static_cast<std::size_t>(H) + static_cast<std::size_t>(y)) * static_cast<std::size_t>(W) + static_cast<std::size_t>(x)] +=
+              amp * std::exp(-(dx * dx + dy * dy) / (2.0f * sigma * sigma));
+        }
+      }
+    }
+  }
+
+  util::Rng rng(config_.seed);
+  for (int i = 0; i < config_.samples; ++i) {
+    const int cls = i % config_.classes;  // balanced classes
+    labels_[static_cast<std::size_t>(i)] = cls;
+    const auto& proto = prototypes[static_cast<std::size_t>(cls)];
+    float* dst = images_.data() + static_cast<std::size_t>(i) * per_sample;
+    const int shift_x = static_cast<int>(rng.next_below(
+                            static_cast<std::uint64_t>(2 * config_.max_shift + 1))) -
+                        config_.max_shift;
+    const int shift_y = static_cast<int>(rng.next_below(
+                            static_cast<std::uint64_t>(2 * config_.max_shift + 1))) -
+                        config_.max_shift;
+    const float contrast =
+        rng.uniform(1.0f - config_.contrast_jitter, 1.0f + config_.contrast_jitter);
+    for (int c = 0; c < C; ++c) {
+      for (int y = 0; y < H; ++y) {
+        for (int x = 0; x < W; ++x) {
+          const int sy = ((y + shift_y) % H + H) % H;
+          const int sx = ((x + shift_x) % W + W) % W;
+          const float base =
+              proto[(static_cast<std::size_t>(c) * static_cast<std::size_t>(H) + static_cast<std::size_t>(sy)) * static_cast<std::size_t>(W) + static_cast<std::size_t>(sx)];
+          dst[(static_cast<std::size_t>(c) * static_cast<std::size_t>(H) + static_cast<std::size_t>(y)) * static_cast<std::size_t>(W) + static_cast<std::size_t>(x)] =
+              base * contrast + rng.normal(0.0f, config_.noise_stddev);
+        }
+      }
+    }
+  }
+}
+
+Tensor SyntheticDataset::batch(const std::vector<int>& indices) const {
+  const std::size_t per_sample = sample_floats();
+  Tensor out({static_cast<int>(indices.size()), config_.channels, config_.height,
+              config_.width});
+  for (std::size_t n = 0; n < indices.size(); ++n) {
+    const int i = indices[n];
+    if (i < 0 || i >= config_.samples) throw std::out_of_range("dataset index");
+    std::memcpy(out.data() + n * per_sample,
+                images_.data() + static_cast<std::size_t>(i) * per_sample,
+                per_sample * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<int> SyntheticDataset::batch_labels(const std::vector<int>& indices) const {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(label(i));
+  return out;
+}
+
+Tensor SyntheticDataset::sample(int i) const { return batch({i}); }
+
+std::vector<int> SyntheticDataset::victim_train_indices(int test_holdout) const {
+  const int victim_pool = config_.samples * 9 / 10;
+  std::vector<int> out(static_cast<std::size_t>(victim_pool - test_holdout));
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+std::vector<int> SyntheticDataset::test_indices(int test_holdout) const {
+  const int victim_pool = config_.samples * 9 / 10;
+  std::vector<int> out(static_cast<std::size_t>(test_holdout));
+  std::iota(out.begin(), out.end(), victim_pool - test_holdout);
+  return out;
+}
+
+std::vector<int> SyntheticDataset::adversary_indices() const {
+  const int victim_pool = config_.samples * 9 / 10;
+  std::vector<int> out(static_cast<std::size_t>(config_.samples - victim_pool));
+  std::iota(out.begin(), out.end(), victim_pool);
+  return out;
+}
+
+}  // namespace sealdl::nn

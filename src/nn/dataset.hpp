@@ -1,0 +1,69 @@
+// Deterministic synthetic image-classification dataset.
+//
+// Stands in for CIFAR-10 (see DESIGN.md substitutions): 10 classes, 3-channel
+// images. Each class is a procedurally generated prototype (a mixture of
+// class-specific sinusoidal gratings and Gaussian blobs); samples are the
+// prototype under random translation plus pixel noise. The victim/attacker
+// protocol of the paper — disjoint 90%/10% training pools — is expressed via
+// index ranges over one deterministic corpus.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace sealdl::nn {
+
+struct DatasetConfig {
+  int classes = 10;
+  int channels = 3;
+  int height = 16;
+  int width = 16;
+  int samples = 6000;       ///< total corpus size
+  float noise_stddev = 0.25f;
+  int max_shift = 4;        ///< uniform translation jitter, pixels
+  float contrast_jitter = 0.35f;  ///< per-sample gain in [1-j, 1+j]
+  std::uint64_t seed = 42;
+};
+
+class SyntheticDataset {
+ public:
+  explicit SyntheticDataset(const DatasetConfig& config);
+
+  [[nodiscard]] int size() const { return config_.samples; }
+  [[nodiscard]] const DatasetConfig& config() const { return config_; }
+
+  /// Label of sample `i`.
+  [[nodiscard]] int label(int i) const { return labels_.at(static_cast<std::size_t>(i)); }
+
+  /// Copies samples `indices` into one [N, C, H, W] batch.
+  [[nodiscard]] Tensor batch(const std::vector<int>& indices) const;
+
+  /// Labels for the same index list.
+  [[nodiscard]] std::vector<int> batch_labels(const std::vector<int>& indices) const;
+
+  /// One sample as a [1, C, H, W] tensor.
+  [[nodiscard]] Tensor sample(int i) const;
+
+  /// Index ranges implementing the paper's split: the victim trains on the
+  /// first 90% of the corpus, the adversary holds the remaining 10%, and the
+  /// last `test` indices of the victim pool are set aside for evaluation.
+  [[nodiscard]] std::vector<int> victim_train_indices(int test_holdout) const;
+  [[nodiscard]] std::vector<int> test_indices(int test_holdout) const;
+  [[nodiscard]] std::vector<int> adversary_indices() const;
+
+ private:
+  DatasetConfig config_;
+  std::vector<float> images_;  ///< samples * C*H*W, row-major
+  std::vector<int> labels_;
+
+  [[nodiscard]] std::size_t sample_floats() const {
+    return static_cast<std::size_t>(config_.channels) *
+           static_cast<std::size_t>(config_.height) *
+           static_cast<std::size_t>(config_.width);
+  }
+};
+
+}  // namespace sealdl::nn

@@ -1,0 +1,61 @@
+// Layer abstraction: forward/backward with cached activations, and trainable
+// parameters with optional per-element freeze masks.
+//
+// The freeze mask is what makes SEAL's substitute-model attack expressible:
+// the adversary keeps the *known* (unencrypted) kernel rows fixed and
+// fine-tunes only the unknown rows (paper §III-B1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace sealdl::nn {
+
+/// A trainable tensor with its gradient and an optional trainability mask
+/// (same shape; 1 = trainable, 0 = frozen). An empty mask means fully
+/// trainable.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  Tensor mask;
+
+  explicit Param(std::string n = "", Tensor v = {})
+      : name(std::move(n)), value(std::move(v)) {
+    if (!value.empty()) grad = value.zeros_like();
+  }
+
+  void zero_grad() {
+    if (!grad.empty()) grad.fill(0.0f);
+  }
+
+  /// Marks every element trainable again.
+  void clear_mask() { mask = Tensor{}; }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. `train` enables training-mode behaviour
+  /// (batch statistics in BatchNorm) and activation caching for backward().
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Back-propagates `grad_output`, accumulating parameter gradients and
+  /// returning the gradient w.r.t. the layer input. Must follow a
+  /// forward(..., train=true) call.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (possibly empty). Pointers remain valid for the
+  /// layer's lifetime.
+  virtual std::vector<Param*> params() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace sealdl::nn

@@ -1,0 +1,71 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sealdl::nn {
+
+Tensor softmax(const Tensor& logits) {
+  const int batch = logits.dim(0), classes = logits.dim(1);
+  Tensor out = logits;
+  for (int n = 0; n < batch; ++n) {
+    float max_v = out.at2(n, 0);
+    for (int c = 1; c < classes; ++c) max_v = std::max(max_v, out.at2(n, c));
+    float sum = 0.0f;
+    for (int c = 0; c < classes; ++c) {
+      const float e = std::exp(out.at2(n, c) - max_v);
+      out.at2(n, c) = e;
+      sum += e;
+    }
+    for (int c = 0; c < classes; ++c) out.at2(n, c) /= sum;
+  }
+  return out;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  const int batch = logits.dim(0), classes = logits.dim(1);
+  if (static_cast<int>(labels.size()) != batch) {
+    throw std::invalid_argument("loss: labels/batch mismatch");
+  }
+  Tensor probs = softmax(logits);
+  LossResult result;
+  result.grad = probs;
+  float loss = 0.0f;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int n = 0; n < batch; ++n) {
+    const int label = labels[static_cast<std::size_t>(n)];
+    if (label < 0 || label >= classes) throw std::invalid_argument("loss: bad label");
+    loss -= std::log(std::max(probs.at2(n, label), 1e-12f));
+    result.grad.at2(n, label) -= 1.0f;
+  }
+  result.grad.scale_(inv_batch);
+  result.loss = loss * inv_batch;
+  return result;
+}
+
+std::vector<int> predict(const Tensor& logits) {
+  const int batch = logits.dim(0), classes = logits.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(batch));
+  for (int n = 0; n < batch; ++n) {
+    int best = 0;
+    for (int c = 1; c < classes; ++c) {
+      if (logits.at2(n, c) > logits.at2(n, best)) best = c;
+    }
+    out[static_cast<std::size_t>(n)] = best;
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const auto preds = predict(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return preds.empty() ? 0.0
+                       : static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace sealdl::nn

@@ -1,0 +1,28 @@
+// Softmax + cross-entropy loss and small inference helpers.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace sealdl::nn {
+
+/// Row-wise softmax of logits [N, classes].
+Tensor softmax(const Tensor& logits);
+
+struct LossResult {
+  float loss = 0.0f;   ///< mean cross-entropy over the batch
+  Tensor grad;         ///< d(loss)/d(logits), already divided by batch size
+};
+
+/// Cross-entropy against integer labels.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// Argmax prediction per row.
+std::vector<int> predict(const Tensor& logits);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace sealdl::nn

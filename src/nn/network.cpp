@@ -1,0 +1,97 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sealdl::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Sequential::visit_leaves(const std::function<void(Layer&)>& fn) {
+  for (auto& layer : layers_) visit_leaf_layers(*layer, fn);
+}
+
+ResidualBlock::ResidualBlock(LayerPtr main_path, LayerPtr shortcut)
+    : main_(std::move(main_path)), shortcut_(std::move(shortcut)) {
+  if (!main_) throw std::invalid_argument("ResidualBlock: null main path");
+}
+
+Tensor ResidualBlock::forward(const Tensor& input, bool train) {
+  Tensor main_out = main_->forward(input, train);
+  Tensor side = shortcut_ ? shortcut_->forward(input, train) : input;
+  if (main_out.numel() != side.numel()) {
+    throw std::invalid_argument("ResidualBlock: path shapes differ");
+  }
+  main_out.add_(side);
+  if (train) cached_sum_ = main_out;
+  Tensor out = main_out;
+  for (std::size_t i = 0; i < out.numel(); ++i) out[i] = std::max(0.0f, out[i]);
+  return out;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    if (cached_sum_[i] <= 0.0f) g[i] = 0.0f;
+  }
+  Tensor grad_in = main_->backward(g);
+  if (shortcut_) {
+    grad_in.add_(shortcut_->backward(g));
+  } else {
+    grad_in.add_(g);
+  }
+  return grad_in;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> out = main_->params();
+  if (shortcut_) {
+    for (Param* p : shortcut_->params()) out.push_back(p);
+  }
+  return out;
+}
+
+void ResidualBlock::visit_leaves(const std::function<void(Layer&)>& fn) {
+  visit_leaf_layers(*main_, fn);
+  if (shortcut_) visit_leaf_layers(*shortcut_, fn);
+}
+
+void visit_leaf_layers(Layer& root, const std::function<void(Layer&)>& fn) {
+  if (auto* seq = dynamic_cast<Sequential*>(&root)) {
+    seq->visit_leaves(fn);
+    return;
+  }
+  if (auto* res = dynamic_cast<ResidualBlock*>(&root)) {
+    res->visit_leaves(fn);
+    return;
+  }
+  fn(root);
+}
+
+}  // namespace sealdl::nn

@@ -1,0 +1,65 @@
+// Network composition: Sequential containers and residual blocks.
+//
+// ResNets are expressed as a Sequential whose elements include
+// ResidualBlock layers (main path + optional projection shortcut), so one
+// uniform Layer interface covers all three paper models.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace sealdl::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a reference for chaining.
+  Sequential& add(LayerPtr layer);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Depth-first visit of every leaf (non-container) layer, in forward order.
+  void visit_leaves(const std::function<void(Layer&)>& fn);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// y = relu(main(x) + shortcut(x)); shortcut is identity when null.
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(LayerPtr main_path, LayerPtr shortcut);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override { return "residual"; }
+
+  Layer& main_path() { return *main_; }
+  [[nodiscard]] bool has_projection() const { return shortcut_ != nullptr; }
+  Layer* shortcut() { return shortcut_.get(); }
+
+  /// Leaf visit helper (forward order: main path, then shortcut).
+  void visit_leaves(const std::function<void(Layer&)>& fn);
+
+ private:
+  LayerPtr main_;
+  LayerPtr shortcut_;  ///< may be null (identity)
+  Tensor cached_sum_;  ///< pre-ReLU sum, for the ReLU gradient gate
+};
+
+/// Applies `fn` to every leaf layer of `root` (recursing through Sequential
+/// and ResidualBlock containers).
+void visit_leaf_layers(Layer& root, const std::function<void(Layer&)>& fn);
+
+}  // namespace sealdl::nn

@@ -1,0 +1,29 @@
+#include "nn/optim.hpp"
+
+namespace sealdl::nn {
+
+SgdOptimizer::SgdOptimizer(std::vector<Param*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.push_back(p->value.zeros_like());
+}
+
+void SgdOptimizer::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const bool masked = !p.mask.empty();
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      if (masked && p.mask[j] == 0.0f) continue;
+      float g = p.grad[j] + options_.weight_decay * p.value[j];
+      v[j] = options_.momentum * v[j] - options_.lr * g;
+      p.value[j] += v[j];
+    }
+  }
+}
+
+void SgdOptimizer::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace sealdl::nn

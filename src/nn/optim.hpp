@@ -1,0 +1,37 @@
+// SGD with momentum, weight decay, and freeze-mask support.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace sealdl::nn {
+
+class SgdOptimizer {
+ public:
+  struct Options {
+    float lr = 0.01f;
+    float momentum = 0.9f;
+    float weight_decay = 0.0f;
+  };
+
+  SgdOptimizer(std::vector<Param*> params, Options options);
+
+  /// Applies one update using the accumulated gradients. Frozen elements
+  /// (mask == 0) are left untouched, implementing the paper's known-weight
+  /// freezing during substitute fine-tuning.
+  void step();
+
+  /// Clears all parameter gradients.
+  void zero_grad();
+
+  void set_lr(float lr) { options_.lr = lr; }
+  [[nodiscard]] float lr() const { return options_.lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  Options options_;
+};
+
+}  // namespace sealdl::nn

@@ -1,0 +1,75 @@
+#include "nn/serialize.hpp"
+
+#include "nn/basic_layers.hpp"
+#include "nn/network.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sealdl::nn {
+
+std::vector<std::uint8_t> serialize_params(Layer& model) {
+  std::vector<std::uint8_t> out;
+  for (Param* p : model.params()) {
+    const std::size_t bytes = p->value.numel() * sizeof(float);
+    const std::size_t offset = out.size();
+    out.resize(offset + bytes);
+    std::memcpy(out.data() + offset, p->value.data(), bytes);
+  }
+  return out;
+}
+
+void deserialize_params(Layer& model, std::span<const std::uint8_t> bytes) {
+  std::size_t offset = 0;
+  for (Param* p : model.params()) {
+    const std::size_t n = p->value.numel() * sizeof(float);
+    if (offset + n > bytes.size()) {
+      throw std::invalid_argument("deserialize_params: buffer too small");
+    }
+    std::memcpy(p->value.data(), bytes.data() + offset, n);
+    offset += n;
+  }
+  if (offset != bytes.size()) {
+    throw std::invalid_argument("deserialize_params: trailing bytes");
+  }
+}
+
+std::size_t parameter_count(Layer& model) {
+  std::size_t n = 0;
+  for (Param* p : model.params()) n += p->value.numel();
+  return n;
+}
+
+void copy_params(Layer& src, Layer& dst) {
+  const auto src_params = src.params();
+  const auto dst_params = dst.params();
+  if (src_params.size() != dst_params.size()) {
+    throw std::invalid_argument("copy_params: parameter list size mismatch");
+  }
+  for (std::size_t i = 0; i < src_params.size(); ++i) {
+    if (src_params[i]->value.numel() != dst_params[i]->value.numel()) {
+      throw std::invalid_argument("copy_params: tensor size mismatch");
+    }
+    dst_params[i]->value = src_params[i]->value;
+  }
+
+  // Batch-norm running statistics are inference state, not parameters;
+  // without them a cloned model normalizes with blank statistics and its
+  // copied convolution weights are useless in eval mode.
+  std::vector<BatchNorm2d*> src_bn, dst_bn;
+  visit_leaf_layers(src, [&src_bn](Layer& layer) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&layer)) src_bn.push_back(bn);
+  });
+  visit_leaf_layers(dst, [&dst_bn](Layer& layer) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&layer)) dst_bn.push_back(bn);
+  });
+  if (src_bn.size() != dst_bn.size()) {
+    throw std::invalid_argument("copy_params: batch-norm layer count mismatch");
+  }
+  for (std::size_t i = 0; i < src_bn.size(); ++i) {
+    dst_bn[i]->running_mean() = src_bn[i]->running_mean();
+    dst_bn[i]->running_var() = src_bn[i]->running_var();
+  }
+}
+
+}  // namespace sealdl::nn

@@ -1,0 +1,28 @@
+// Flat byte serialization of model parameters.
+//
+// The SEAL runtime places these bytes into the simulated secure heap (weights
+// live in DRAM, §II-A), and the bus snooper tries to reassemble them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace sealdl::nn {
+
+/// Concatenates every parameter tensor (in params() order) as little-endian
+/// float32 bytes.
+std::vector<std::uint8_t> serialize_params(Layer& model);
+
+/// Inverse of serialize_params; shapes must match exactly.
+void deserialize_params(Layer& model, std::span<const std::uint8_t> bytes);
+
+/// Total parameter count.
+std::size_t parameter_count(Layer& model);
+
+/// Copies parameter values from `src` into `dst` (architectures must match).
+void copy_params(Layer& src, Layer& dst);
+
+}  // namespace sealdl::nn

@@ -1,0 +1,77 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace sealdl::nn {
+
+namespace {
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d <= 0) throw std::invalid_argument("tensor dims must be positive");
+    n *= static_cast<std::size_t>(d);
+  }
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<int> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("tensor value count does not match shape");
+  }
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  if (shape_numel(new_shape) != data_.size()) {
+    throw std::invalid_argument("reshape must preserve element count");
+  }
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  if (other.numel() != numel()) throw std::invalid_argument("add_: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+float Tensor::l1_norm() const {
+  float sum = 0.0f;
+  for (float v : data_) sum += std::fabs(v);
+  return sum;
+}
+
+float Tensor::max_abs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    os << shape_[i] << (i + 1 < shape_.size() ? "," : "");
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace sealdl::nn

@@ -1,0 +1,86 @@
+// Dense float32 tensor in NCHW layout — the numeric substrate for the NN
+// framework used by the victim/substitute models and the attack algorithms.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sealdl::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-filled tensor with the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  /// Allocates and fills from `values` (size must match).
+  Tensor(std::vector<int> shape, std::vector<float> values);
+
+  [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] int dim(int i) const { return shape_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] int ndim() const { return static_cast<int>(shape_.size()); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 4-D accessor (NCHW). Bounds are checked in debug builds only.
+  float& at4(int n, int c, int h, int w) {
+    return data_[index4(n, c, h, w)];
+  }
+  [[nodiscard]] float at4(int n, int c, int h, int w) const {
+    return data_[index4(n, c, h, w)];
+  }
+
+  /// 2-D accessor (rows x cols).
+  float& at2(int r, int c) { return data_[index2(r, c)]; }
+  [[nodiscard]] float at2(int r, int c) const { return data_[index2(r, c)]; }
+
+  void fill(float v);
+
+  /// Returns a tensor of the same shape, zero-filled.
+  [[nodiscard]] Tensor zeros_like() const { return Tensor(shape_); }
+
+  /// Reinterprets the data with a new shape of equal element count.
+  [[nodiscard]] Tensor reshaped(std::vector<int> new_shape) const;
+
+  /// Elementwise helpers used throughout the attack code.
+  Tensor& add_(const Tensor& other);
+  Tensor& scale_(float s);
+
+  [[nodiscard]] float l1_norm() const;
+  [[nodiscard]] float max_abs() const;
+
+  [[nodiscard]] std::string shape_str() const;
+
+ private:
+  [[nodiscard]] std::size_t index4(int n, int c, int h, int w) const {
+    assert(shape_.size() == 4);
+    assert(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1]);
+    assert(h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3]);
+    return ((static_cast<std::size_t>(n) * static_cast<std::size_t>(shape_[1]) +
+             static_cast<std::size_t>(c)) *
+                static_cast<std::size_t>(shape_[2]) +
+            static_cast<std::size_t>(h)) *
+               static_cast<std::size_t>(shape_[3]) +
+           static_cast<std::size_t>(w);
+  }
+  [[nodiscard]] std::size_t index2(int r, int c) const {
+    assert(shape_.size() == 2);
+    assert(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(shape_[1]) +
+           static_cast<std::size_t>(c);
+  }
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace sealdl::nn

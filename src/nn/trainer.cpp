@@ -1,0 +1,173 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace sealdl::nn {
+
+std::vector<EpochStats> train(Layer& model, const SyntheticDataset& data,
+                              const std::vector<int>& indices,
+                              const std::vector<int>& labels,
+                              const TrainOptions& options) {
+  if (!labels.empty() && labels.size() != indices.size()) {
+    throw std::invalid_argument("train: labels must be parallel to indices");
+  }
+  SgdOptimizer optimizer(model.params(), options.sgd);
+  util::Rng rng(options.shuffle_seed);
+  std::vector<std::size_t> order(indices.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<EpochStats> history;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher–Yates with our deterministic RNG.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    float loss_sum = 0.0f;
+    std::size_t correct = 0, seen = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(options.batch_size)) {
+      const std::size_t end =
+          std::min(order.size(), start + static_cast<std::size_t>(options.batch_size));
+      std::vector<int> batch_idx, batch_lab;
+      batch_idx.reserve(end - start);
+      batch_lab.reserve(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        batch_idx.push_back(indices[order[i]]);
+        batch_lab.push_back(labels.empty() ? data.label(indices[order[i]])
+                                           : labels[order[i]]);
+      }
+      Tensor x = data.batch(batch_idx);
+      optimizer.zero_grad();
+      Tensor logits = model.forward(x, /*train=*/true);
+      const LossResult loss = softmax_cross_entropy(logits, batch_lab);
+      model.backward(loss.grad);
+      optimizer.step();
+
+      loss_sum += loss.loss * static_cast<float>(batch_idx.size());
+      const auto preds = predict(logits);
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        correct += preds[i] == batch_lab[i] ? 1 : 0;
+      }
+      seen += batch_idx.size();
+    }
+    optimizer.set_lr(optimizer.lr() * options.lr_decay);
+    history.push_back(EpochStats{loss_sum / static_cast<float>(seen),
+                                 static_cast<double>(correct) / static_cast<double>(seen)});
+  }
+  return history;
+}
+
+Tensor slice_batch(const Tensor& images, int n0, int n1) {
+  const std::size_t per =
+      images.numel() / static_cast<std::size_t>(images.dim(0));
+  std::vector<int> shape = images.shape();
+  shape[0] = n1 - n0;
+  Tensor out(shape);
+  std::copy(images.data() + static_cast<std::size_t>(n0) * per,
+            images.data() + static_cast<std::size_t>(n1) * per, out.data());
+  return out;
+}
+
+std::vector<EpochStats> train_tensors(Layer& model, const Tensor& images,
+                                      const std::vector<int>& labels,
+                                      const TrainOptions& options) {
+  const int total = images.dim(0);
+  if (static_cast<int>(labels.size()) != total) {
+    throw std::invalid_argument("train_tensors: labels/batch mismatch");
+  }
+  SgdOptimizer optimizer(model.params(), options.sgd);
+  util::Rng rng(options.shuffle_seed);
+  std::vector<int> order(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) order[static_cast<std::size_t>(i)] = i;
+
+  const std::size_t per =
+      images.numel() / static_cast<std::size_t>(total);
+  std::vector<int> batch_shape = images.shape();
+
+  std::vector<EpochStats> history;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    float loss_sum = 0.0f;
+    std::size_t correct = 0, seen = 0;
+    for (int start = 0; start < total; start += options.batch_size) {
+      const int end = std::min(total, start + options.batch_size);
+      batch_shape[0] = end - start;
+      Tensor x(batch_shape);
+      std::vector<int> batch_lab(static_cast<std::size_t>(end - start));
+      for (int i = start; i < end; ++i) {
+        const int src = order[static_cast<std::size_t>(i)];
+        std::copy(images.data() + static_cast<std::size_t>(src) * per,
+                  images.data() + static_cast<std::size_t>(src + 1) * per,
+                  x.data() + static_cast<std::size_t>(i - start) * per);
+        batch_lab[static_cast<std::size_t>(i - start)] = labels[static_cast<std::size_t>(src)];
+      }
+      optimizer.zero_grad();
+      Tensor logits = model.forward(x, /*train=*/true);
+      const LossResult loss = softmax_cross_entropy(logits, batch_lab);
+      model.backward(loss.grad);
+      optimizer.step();
+      loss_sum += loss.loss * static_cast<float>(end - start);
+      const auto preds = predict(logits);
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        correct += preds[i] == batch_lab[i] ? 1 : 0;
+      }
+      seen += static_cast<std::size_t>(end - start);
+    }
+    optimizer.set_lr(optimizer.lr() * options.lr_decay);
+    history.push_back(EpochStats{loss_sum / static_cast<float>(seen),
+                                 static_cast<double>(correct) / static_cast<double>(seen)});
+  }
+  return history;
+}
+
+double evaluate_tensors(Layer& model, const Tensor& images,
+                        const std::vector<int>& labels, int batch_size) {
+  const int total = images.dim(0);
+  std::size_t correct = 0;
+  for (int start = 0; start < total; start += batch_size) {
+    const int end = std::min(total, start + batch_size);
+    Tensor logits = model.forward(slice_batch(images, start, end), /*train=*/false);
+    const auto preds = predict(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      correct += preds[i] == labels[static_cast<std::size_t>(start) + i] ? 1 : 0;
+    }
+  }
+  return total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+}
+
+double evaluate(Layer& model, const SyntheticDataset& data,
+                const std::vector<int>& indices, int batch_size) {
+  return evaluate_with_labels(model, data, indices, data.batch_labels(indices),
+                              batch_size);
+}
+
+double evaluate_with_labels(Layer& model, const SyntheticDataset& data,
+                            const std::vector<int>& indices,
+                            const std::vector<int>& labels, int batch_size) {
+  if (labels.size() != indices.size()) {
+    throw std::invalid_argument("evaluate: labels must be parallel to indices");
+  }
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < indices.size();
+       start += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end =
+        std::min(indices.size(), start + static_cast<std::size_t>(batch_size));
+    const std::vector<int> batch_idx(indices.begin() + static_cast<std::ptrdiff_t>(start),
+                                     indices.begin() + static_cast<std::ptrdiff_t>(end));
+    Tensor logits = model.forward(data.batch(batch_idx), /*train=*/false);
+    const auto preds = predict(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      correct += preds[i] == labels[start + i] ? 1 : 0;
+    }
+  }
+  return indices.empty()
+             ? 0.0
+             : static_cast<double>(correct) / static_cast<double>(indices.size());
+}
+
+}  // namespace sealdl::nn

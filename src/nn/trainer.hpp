@@ -1,0 +1,61 @@
+// Mini-batch training and evaluation loops shared by the victim-model setup
+// and the adversary's substitute-model retraining.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/layer.hpp"
+#include "nn/optim.hpp"
+#include "util/rng.hpp"
+
+namespace sealdl::nn {
+
+struct TrainOptions {
+  int epochs = 5;
+  int batch_size = 32;
+  SgdOptimizer::Options sgd;
+  /// Multiply lr by this factor after each epoch (1.0 = constant).
+  float lr_decay = 1.0f;
+  std::uint64_t shuffle_seed = 7;
+};
+
+struct EpochStats {
+  float loss = 0.0f;
+  double accuracy = 0.0;
+};
+
+/// Trains `model` on (inputs provided by `get_batch`) for the configured
+/// number of epochs. `indices` selects the training pool inside `data`;
+/// labels may be overridden (oracle-labelled data) via `labels`, which, when
+/// non-empty, must be parallel to `indices`.
+std::vector<EpochStats> train(Layer& model, const SyntheticDataset& data,
+                              const std::vector<int>& indices,
+                              const std::vector<int>& labels,
+                              const TrainOptions& options);
+
+/// Mean accuracy of `model` over the given sample indices (true labels).
+double evaluate(Layer& model, const SyntheticDataset& data,
+                const std::vector<int>& indices, int batch_size = 64);
+
+/// Accuracy against an explicit label vector parallel to `indices`.
+double evaluate_with_labels(Layer& model, const SyntheticDataset& data,
+                            const std::vector<int>& indices,
+                            const std::vector<int>& labels, int batch_size = 64);
+
+/// Trains on an explicit tensor corpus (images [N,C,H,W] + labels). Used by
+/// the adversary, whose corpus mixes held-out samples with Jacobian-augmented
+/// synthetic ones that exist nowhere in the dataset.
+std::vector<EpochStats> train_tensors(Layer& model, const Tensor& images,
+                                      const std::vector<int>& labels,
+                                      const TrainOptions& options);
+
+/// Accuracy of `model` on a tensor corpus.
+double evaluate_tensors(Layer& model, const Tensor& images,
+                        const std::vector<int>& labels, int batch_size = 64);
+
+/// Copies rows [n0, n1) of a [N,C,H,W] corpus into a new batch tensor.
+Tensor slice_batch(const Tensor& images, int n0, int n1);
+
+}  // namespace sealdl::nn

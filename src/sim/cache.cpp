@@ -1,0 +1,108 @@
+#include "sim/cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sealdl::sim {
+
+SetAssocCache::SetAssocCache(std::size_t capacity_bytes, int assoc, int line_bytes)
+    : sets_(capacity_bytes / (static_cast<std::size_t>(assoc) * static_cast<std::size_t>(line_bytes))),
+      assoc_(assoc),
+      line_bytes_(line_bytes) {
+  if (sets_ == 0 || capacity_bytes % (static_cast<std::size_t>(assoc) * static_cast<std::size_t>(line_bytes)) != 0) {
+    throw std::invalid_argument("cache capacity must be a positive multiple of assoc*line");
+  }
+  ways_.resize(sets_ * static_cast<std::size_t>(assoc_));
+}
+
+std::size_t SetAssocCache::set_index(Addr addr) const {
+  return (addr / static_cast<Addr>(line_bytes_)) % sets_;
+}
+
+Addr SetAssocCache::tag_of(Addr addr) const {
+  return addr / static_cast<Addr>(line_bytes_) / sets_;
+}
+
+CacheResult SetAssocCache::access(Addr addr, bool mark_dirty) {
+  const std::size_t base = set_index(addr) * static_cast<std::size_t>(assoc_);
+  const Addr tag = tag_of(addr);
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++clock_;
+      way.dirty = way.dirty || mark_dirty;
+      hits_.record(true);
+      return {true, std::nullopt};
+    }
+  }
+  hits_.record(false);
+  return {false, std::nullopt};
+}
+
+CacheResult SetAssocCache::insert(Addr addr, bool dirty) {
+  const std::size_t set = set_index(addr);
+  const std::size_t base = set * static_cast<std::size_t>(assoc_);
+  const Addr tag = tag_of(addr);
+  // Prefer an invalid way, otherwise the least recently used one.
+  std::size_t victim = base;
+  for (int w = 0; w < assoc_; ++w) {
+    const Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (!way.valid) {
+      victim = base + static_cast<std::size_t>(w);
+      break;
+    }
+    if (way.lru < ways_[victim].lru) victim = base + static_cast<std::size_t>(w);
+  }
+  Way& way = ways_[victim];
+  std::optional<Addr> writeback;
+  if (way.valid && way.dirty) {
+    // Reconstruct the victim's address from its tag and this set index.
+    writeback = (way.tag * sets_ + set) * static_cast<Addr>(line_bytes_);
+  }
+  way.valid = true;
+  way.dirty = dirty;
+  way.tag = tag;
+  way.lru = ++clock_;
+  return {false, writeback};
+}
+
+bool SetAssocCache::contains(Addr addr) const {
+  const std::size_t base = set_index(addr) * static_cast<std::size_t>(assoc_);
+  const Addr tag = tag_of(addr);
+  for (int w = 0; w < assoc_; ++w) {
+    const Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.tag == tag) return true;
+  }
+  return false;
+}
+
+std::optional<Addr> SetAssocCache::invalidate(Addr addr) {
+  const std::size_t set = set_index(addr);
+  const std::size_t base = set * static_cast<std::size_t>(assoc_);
+  const Addr tag = tag_of(addr);
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.tag == tag) {
+      way.valid = false;
+      if (way.dirty) return (way.tag * sets_ + set) * static_cast<Addr>(line_bytes_);
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Addr> SetAssocCache::flush_dirty() {
+  std::vector<Addr> out;
+  for (std::size_t set = 0; set < sets_; ++set) {
+    for (int w = 0; w < assoc_; ++w) {
+      Way& way = ways_[set * static_cast<std::size_t>(assoc_) + static_cast<std::size_t>(w)];
+      if (way.valid && way.dirty) {
+        out.push_back((way.tag * sets_ + set) * static_cast<Addr>(line_bytes_));
+        way.dirty = false;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sealdl::sim

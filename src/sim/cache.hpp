@@ -1,0 +1,70 @@
+// Generic set-associative tag-array cache with LRU replacement.
+//
+// Used for the per-channel L2 slices and for the memory controllers' counter
+// caches. Only tags and state are modeled (the timing simulator never carries
+// payloads; the functional path lives in sim/functional_memory.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/request.hpp"
+#include "util/stats.hpp"
+
+namespace sealdl::sim {
+
+/// Outcome of a cache access.
+struct CacheResult {
+  bool hit = false;
+  /// Address of a dirty line that had to be written back to make room
+  /// (only set when an insertion evicted a dirty victim).
+  std::optional<Addr> writeback;
+};
+
+class SetAssocCache {
+ public:
+  /// `capacity_bytes` must be a multiple of `line_bytes * assoc`.
+  SetAssocCache(std::size_t capacity_bytes, int assoc, int line_bytes);
+
+  /// Looks up `addr`; on hit updates LRU (and dirty if `mark_dirty`).
+  /// Does NOT allocate on miss — call insert() for that.
+  CacheResult access(Addr addr, bool mark_dirty);
+
+  /// Allocates a line for `addr` (which must currently miss), evicting the
+  /// LRU way. Returns the dirty victim's address if one was displaced.
+  CacheResult insert(Addr addr, bool dirty);
+
+  /// True if `addr`'s line is currently resident (no LRU update).
+  [[nodiscard]] bool contains(Addr addr) const;
+
+  /// Invalidates the line if present; returns its address if it was dirty.
+  std::optional<Addr> invalidate(Addr addr);
+
+  /// Drains every dirty line (end-of-simulation writeback flush).
+  std::vector<Addr> flush_dirty();
+
+  [[nodiscard]] const util::HitRate& hit_rate() const { return hits_; }
+  [[nodiscard]] std::size_t num_sets() const { return sets_; }
+  [[nodiscard]] int line_bytes() const { return line_bytes_; }
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  ///< larger = more recently used
+  };
+
+  [[nodiscard]] std::size_t set_index(Addr addr) const;
+  [[nodiscard]] Addr tag_of(Addr addr) const;
+
+  std::size_t sets_;
+  int assoc_;
+  int line_bytes_;
+  std::vector<Way> ways_;  ///< sets_ * assoc_, row-major by set
+  std::uint64_t clock_ = 0;
+  util::HitRate hits_;
+};
+
+}  // namespace sealdl::sim

@@ -1,0 +1,19 @@
+#include "sim/gpu_config.hpp"
+
+namespace sealdl::sim {
+
+const char* scheme_name(EncryptionScheme scheme) {
+  switch (scheme) {
+    case EncryptionScheme::kNone:
+      return "Baseline";
+    case EncryptionScheme::kDirect:
+      return "Direct";
+    case EncryptionScheme::kCounter:
+      return "Counter";
+  }
+  return "?";
+}
+
+GpuConfig GpuConfig::gtx480() { return GpuConfig{}; }
+
+}  // namespace sealdl::sim

@@ -1,0 +1,136 @@
+#include "sim/gpu_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sealdl::sim {
+
+GpuSimulator::GpuSimulator(GpuConfig config, const SecureMap* secure_map)
+    : config_(config),
+      to_l2_(static_cast<Cycle>(config.interconnect_latency)),
+      to_sm_(static_cast<Cycle>(config.interconnect_latency)) {
+  for (int c = 0; c < config_.num_channels; ++c) {
+    controllers_.push_back(std::make_unique<MemoryController>(config_, secure_map));
+    l2_slices_.push_back(std::make_unique<L2Slice>(config_, controllers_.back().get()));
+  }
+  for (int s = 0; s < config_.num_sms; ++s) {
+    sms_.push_back(std::make_unique<SmCore>(
+        config_, s,
+        [this](Cycle now, MemRequest request) { to_l2_.push(now, request); }));
+  }
+}
+
+void GpuSimulator::set_probe(BusProbe* probe) {
+  for (auto& mc : controllers_) mc->set_probe(probe);
+}
+
+int GpuSimulator::channel_of(Addr addr) const {
+  return static_cast<int>((addr / static_cast<Addr>(config_.channel_interleave_bytes)) %
+                          static_cast<Addr>(config_.num_channels));
+}
+
+void GpuSimulator::load_work(std::vector<WarpProgramPtr> programs) {
+  // Round-robin deal across SMs, filling each SM's warp slots evenly.
+  std::vector<std::vector<WarpProgramPtr>> per_sm(sms_.size());
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    per_sm[i % sms_.size()].push_back(std::move(programs[i]));
+  }
+  for (std::size_t s = 0; s < sms_.size(); ++s) {
+    if (per_sm[s].size() > static_cast<std::size_t>(config_.warps_per_sm)) {
+      throw std::invalid_argument(
+          "more warp programs than warp slots; split the grid into waves");
+    }
+    sms_[s]->load_programs(std::move(per_sm[s]));
+  }
+}
+
+void GpuSimulator::route_request(Cycle now, const MemRequest& request) {
+  const Addr line =
+      request.addr & ~static_cast<Addr>(config_.line_bytes - 1);
+  const int channel = channel_of(line);
+  L2Slice& slice = *l2_slices_[static_cast<std::size_t>(channel)];
+  if (request.is_write) {
+    slice.write(now, line);
+    return;
+  }
+  Cycle fill_ready = 0;
+  const auto result =
+      slice.read(now, line, Waiter{request.sm_id, request.warp_id}, &fill_ready);
+  if (result.hit) {
+    to_sm_.push(result.ready, Response{request.sm_id, request.warp_id});
+  } else if (!result.merged) {
+    fills_.push(FillEvent{fill_ready, line, channel});
+  }
+}
+
+void GpuSimulator::deliver_ready(Cycle now) {
+  while (auto request = to_l2_.pop_ready(now)) route_request(now, *request);
+  while (!fills_.empty() && fills_.top().ready <= now) {
+    const FillEvent event = fills_.top();
+    fills_.pop();
+    auto waiters =
+        l2_slices_[static_cast<std::size_t>(event.channel)]->complete_fill(now, event.addr);
+    for (const Waiter& waiter : waiters) {
+      to_sm_.push(now, Response{waiter.sm_id, waiter.warp_id});
+    }
+  }
+  while (auto response = to_sm_.pop_ready(now)) {
+    sms_[static_cast<std::size_t>(response->sm_id)]->on_load_return(response->warp_id);
+  }
+}
+
+Cycle GpuSimulator::next_event_cycle() const {
+  Cycle next = std::numeric_limits<Cycle>::max();
+  if (!to_l2_.empty()) next = std::min(next, to_l2_.front_ready());
+  if (!to_sm_.empty()) next = std::min(next, to_sm_.front_ready());
+  if (!fills_.empty()) next = std::min(next, fills_.top().ready);
+  for (const auto& sm : sms_) next = std::min(next, sm->next_launch_cycle());
+  return next;
+}
+
+void GpuSimulator::run(Cycle max_cycles) {
+  for (;;) {
+    deliver_ready(now_);
+    int issued = 0;
+    for (auto& sm : sms_) issued += sm->tick(now_);
+
+    const bool warps_done =
+        std::all_of(sms_.begin(), sms_.end(),
+                    [](const auto& sm) { return sm->all_done(); });
+    const bool queues_empty = to_l2_.empty() && to_sm_.empty() && fills_.empty();
+    if (warps_done && queues_empty) break;
+    if (max_cycles && now_ >= max_cycles) break;
+
+    ++now_;
+    if (issued == 0) {
+      // Nothing issuable: jump to the next memory event instead of idling.
+      const Cycle next = next_event_cycle();
+      if (next != std::numeric_limits<Cycle>::max() && next > now_) now_ = next;
+    }
+  }
+
+  // Drain write-back state so trailing stores/counter flushes are accounted.
+  for (std::size_t c = 0; c < l2_slices_.size(); ++c) l2_slices_[c]->flush(now_);
+  for (auto& mc : controllers_) mc->flush(now_);
+  finish_cycle_ = now_;
+}
+
+SimStats GpuSimulator::stats() const {
+  SimStats stats;
+  stats.cycles = finish_cycle_;
+  for (const auto& sm : sms_) {
+    stats.warp_instructions += sm->warp_instructions();
+  }
+  stats.thread_instructions =
+      stats.warp_instructions * static_cast<std::uint64_t>(config_.warp_size);
+  for (const auto& slice : l2_slices_) {
+    stats.l2_hits += slice->hit_rate().hits;
+    stats.l2_misses += slice->hit_rate().total - slice->hit_rate().hits;
+  }
+  for (const auto& mc : controllers_) mc->accumulate(stats);
+  return stats;
+}
+
+}  // namespace sealdl::sim

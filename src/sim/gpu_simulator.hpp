@@ -1,0 +1,76 @@
+// Top-level cycle-level model of the encrypted DL accelerator.
+//
+// Wires together: SM cores -> interconnect -> per-channel L2 slices ->
+// memory controllers (with AES engines / counter caches) -> GDDR5 channels.
+// Drive it by loading warp programs (from src/workload generators) and
+// calling run(); read results from stats().
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/gpu_config.hpp"
+#include "sim/l2_slice.hpp"
+#include "sim/mem_controller.hpp"
+#include "sim/pipes.hpp"
+#include "sim/request.hpp"
+#include "sim/secure_map.hpp"
+#include "sim/sim_stats.hpp"
+#include "sim/sm_core.hpp"
+
+namespace sealdl::sim {
+
+class GpuSimulator {
+ public:
+  /// `secure_map` describes which address ranges hold encrypted data; it is
+  /// only consulted when config.selective is true (the SEAL schemes). It may
+  /// be null for full or no encryption. The map must outlive the simulator.
+  explicit GpuSimulator(GpuConfig config, const SecureMap* secure_map = nullptr);
+
+  /// Distributes warp programs round-robin across SMs and their warp slots.
+  /// Call before run(); replaces any previous assignment.
+  void load_work(std::vector<WarpProgramPtr> programs);
+
+  /// Runs until all warps retire and the memory system drains.
+  /// `max_cycles` guards against runaway simulations (0 = unlimited).
+  void run(Cycle max_cycles = 0);
+
+  /// Gathers statistics from every component.
+  [[nodiscard]] SimStats stats() const;
+
+  /// Attaches a bus probe to every memory controller (snooper vantage).
+  void set_probe(BusProbe* probe);
+
+  [[nodiscard]] const GpuConfig& config() const { return config_; }
+
+ private:
+  struct FillEvent {
+    Cycle ready;
+    Addr addr;
+    int channel;
+    bool operator>(const FillEvent& other) const { return ready > other.ready; }
+  };
+  struct Response {
+    int sm_id;
+    int warp_id;
+  };
+
+  [[nodiscard]] int channel_of(Addr addr) const;
+  void route_request(Cycle now, const MemRequest& request);
+  void deliver_ready(Cycle now);
+  [[nodiscard]] Cycle next_event_cycle() const;
+
+  GpuConfig config_;
+  std::vector<std::unique_ptr<SmCore>> sms_;
+  std::vector<std::unique_ptr<MemoryController>> controllers_;
+  std::vector<std::unique_ptr<L2Slice>> l2_slices_;
+  DelayQueue<MemRequest> to_l2_;
+  DelayQueue<Response> to_sm_;
+  std::priority_queue<FillEvent, std::vector<FillEvent>, std::greater<FillEvent>>
+      fills_;
+  Cycle now_ = 0;
+  Cycle finish_cycle_ = 0;
+};
+
+}  // namespace sealdl::sim

@@ -1,0 +1,67 @@
+#include "sim/l2_slice.hpp"
+
+namespace sealdl::sim {
+
+L2Slice::L2Slice(const GpuConfig& config, MemoryController* controller)
+    : config_(config),
+      controller_(controller),
+      cache_(static_cast<std::size_t>(config.l2_slice_kb) * 1024, config.l2_assoc,
+             config.line_bytes) {}
+
+L2ReadResult L2Slice::read(Cycle now, Addr addr, Waiter waiter, Cycle* fill_ready) {
+  const auto lookup = cache_.access(addr, /*mark_dirty=*/false);
+  if (lookup.hit) {
+    return {true, now + static_cast<Cycle>(config_.l2_latency), false};
+  }
+  auto [it, inserted] = mshr_.try_emplace(addr);
+  it->second.push_back(waiter);
+  if (!inserted) {
+    return {false, 0, true};  // merged into in-flight fill
+  }
+  *fill_ready =
+      controller_->read_line(now + static_cast<Cycle>(config_.l2_latency), addr);
+  return {false, 0, false};
+}
+
+void L2Slice::write(Cycle now, Addr addr) {
+  const auto lookup = cache_.access(addr, /*mark_dirty=*/true);
+  if (lookup.hit) return;
+  if (mshr_.count(addr)) {
+    // A fill is racing with this full-line store; install the line now so the
+    // store lands, and let complete_fill() detect the line is present.
+    const auto insert = cache_.insert(addr, /*dirty=*/true);
+    if (insert.writeback) {
+      controller_->write_line(now + static_cast<Cycle>(config_.l2_latency),
+                              *insert.writeback);
+    }
+    return;
+  }
+  // Full-line store: allocate without a read-for-ownership fill.
+  const auto insert = cache_.insert(addr, /*dirty=*/true);
+  if (insert.writeback) {
+    controller_->write_line(now + static_cast<Cycle>(config_.l2_latency),
+                            *insert.writeback);
+  }
+}
+
+std::vector<Waiter> L2Slice::complete_fill(Cycle now, Addr addr) {
+  auto it = mshr_.find(addr);
+  std::vector<Waiter> waiters;
+  if (it != mshr_.end()) {
+    waiters = std::move(it->second);
+    mshr_.erase(it);
+  }
+  if (!cache_.contains(addr)) {
+    const auto insert = cache_.insert(addr, /*dirty=*/false);
+    if (insert.writeback) controller_->write_line(now, *insert.writeback);
+  }
+  return waiters;
+}
+
+void L2Slice::flush(Cycle now) {
+  for (const Addr victim : cache_.flush_dirty()) {
+    controller_->write_line(now, victim);
+  }
+}
+
+}  // namespace sealdl::sim

@@ -1,0 +1,77 @@
+// One GDDR5 channel's memory controller, with an optional in-line AES engine
+// and (for counter mode) an on-chip counter cache.
+//
+// Timing is modeled by resource reservation (see sim/pipes.hpp): the
+// controller books occupancy on its DRAM channel pipe and AES pipe and
+// reports the completion cycle of each read. Writes are posted — they consume
+// bandwidth but nobody waits for them.
+//
+// Encryption dataflow per 128 B line:
+//   Direct  read : DRAM -> AES decrypt (serial)      write: AES -> DRAM
+//   Counter read : DRAM || (counter fetch -> AES pad), XOR   write: same pads
+// On a counter-cache hit the pad generation overlaps the data fetch, so
+// counter mode hides AES latency but still pays AES occupancy (bandwidth) and
+// extra DRAM traffic for counter-block fills/writebacks — the reason the paper
+// finds Counter no faster than Direct on a bandwidth-starved GPU (§II-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/cache.hpp"
+#include "sim/gpu_config.hpp"
+#include "sim/pipes.hpp"
+#include "sim/request.hpp"
+#include "sim/secure_map.hpp"
+#include "sim/sim_stats.hpp"
+
+namespace sealdl::sim {
+
+class BusProbe;
+
+class MemoryController {
+ public:
+  MemoryController(const GpuConfig& config, const SecureMap* secure_map);
+
+  /// Schedules a line read arriving at the controller at `now`; returns the
+  /// cycle at which the (decrypted) line is available to send back on-chip.
+  Cycle read_line(Cycle now, Addr addr);
+
+  /// Schedules a posted line write arriving at `now`. Returns the cycle the
+  /// write finishes draining (stats/ordering only; callers need not wait).
+  Cycle write_line(Cycle now, Addr addr);
+
+  /// Whether traffic to `addr` pays for encryption under this configuration.
+  [[nodiscard]] bool needs_encryption(Addr addr) const;
+
+  /// Adds this controller's counters into `stats`.
+  void accumulate(SimStats& stats) const;
+
+  /// Flushes dirty counter-cache lines to DRAM (end of run).
+  void flush(Cycle now);
+
+  void set_probe(BusProbe* probe) { probe_ = probe; }
+
+ private:
+  /// Books the counter-fetch portion of a counter-mode access; returns the
+  /// cycle the counter value is available. May inject counter-line DRAM
+  /// traffic (fill and/or dirty writeback).
+  Cycle fetch_counter(Cycle now, Addr addr, bool for_write);
+
+  [[nodiscard]] Addr counter_line_addr(Addr data_addr) const;
+
+  const GpuConfig& config_;
+  const SecureMap* secure_map_;  ///< may be null => everything secure
+  ThroughputPipe dram_;
+  ThroughputPipe aes_;
+  std::optional<SetAssocCache> counter_cache_;
+  BusProbe* probe_ = nullptr;
+
+  std::uint64_t read_bytes_ = 0;
+  std::uint64_t write_bytes_ = 0;
+  std::uint64_t encrypted_bytes_ = 0;
+  std::uint64_t bypassed_bytes_ = 0;
+  std::uint64_t counter_traffic_bytes_ = 0;
+};
+
+}  // namespace sealdl::sim

@@ -1,0 +1,96 @@
+// Timing primitives: fixed-latency FIFOs and bandwidth-limited resources.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/request.hpp"
+
+namespace sealdl::sim {
+
+/// FIFO whose elements become visible a fixed number of cycles after they are
+/// pushed. Models wire/router latency (e.g. the SM<->L2 interconnect).
+template <typename T>
+class DelayQueue {
+ public:
+  explicit DelayQueue(Cycle latency) : latency_(latency) {}
+
+  void push(Cycle now, T value) { items_.push_back({now + latency_, std::move(value)}); }
+
+  /// Pops the front element if it is ready at `now`.
+  std::optional<T> pop_ready(Cycle now) {
+    if (items_.empty() || items_.front().ready > now) return std::nullopt;
+    T out = std::move(items_.front().value);
+    items_.pop_front();
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  /// Cycle at which the front element becomes ready; only valid if !empty().
+  [[nodiscard]] Cycle front_ready() const {
+    assert(!items_.empty());
+    return items_.front().ready;
+  }
+
+ private:
+  struct Entry {
+    Cycle ready;
+    T value;
+  };
+  Cycle latency_;
+  std::deque<Entry> items_;
+};
+
+/// A shared resource with finite bandwidth and a fixed pipeline latency,
+/// scheduled by reservation: callers ask "when would a transfer of N bytes
+/// issued no earlier than cycle t complete?" and the pipe books the occupancy.
+///
+/// Used for DRAM channels and AES engines. Occupancy is tracked in fractional
+/// cycles so that e.g. a 42.24 B/cycle channel is modeled exactly; completions
+/// are reported as integer cycles (ceil).
+class ThroughputPipe {
+ public:
+  ThroughputPipe(double bytes_per_cycle, Cycle latency)
+      : bytes_per_cycle_(bytes_per_cycle), latency_(latency) {
+    assert(bytes_per_cycle > 0.0);
+  }
+
+  /// Books `bytes` of occupancy starting no earlier than `earliest`; returns
+  /// the cycle at which the data emerges from the pipe.
+  Cycle schedule(Cycle earliest, std::uint64_t bytes) {
+    const double start = std::max(next_free_, static_cast<double>(earliest));
+    const double busy = static_cast<double>(bytes) / bytes_per_cycle_;
+    next_free_ = start + busy;
+    busy_cycles_ += busy;
+    bytes_ += bytes;
+    return static_cast<Cycle>(std::ceil(next_free_)) + latency_;
+  }
+
+  /// First cycle at which a new transfer could begin.
+  [[nodiscard]] double next_free() const { return next_free_; }
+
+  [[nodiscard]] double busy_cycles() const { return busy_cycles_; }
+  [[nodiscard]] std::uint64_t bytes_transferred() const { return bytes_; }
+  [[nodiscard]] double bytes_per_cycle() const { return bytes_per_cycle_; }
+  [[nodiscard]] Cycle latency() const { return latency_; }
+
+  /// Utilization over the first `elapsed` cycles (clamped to [0,1]).
+  [[nodiscard]] double utilization(Cycle elapsed) const {
+    if (elapsed == 0) return 0.0;
+    return std::min(1.0, busy_cycles_ / static_cast<double>(elapsed));
+  }
+
+ private:
+  double bytes_per_cycle_;
+  Cycle latency_;
+  double next_free_ = 0.0;
+  double busy_cycles_ = 0.0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace sealdl::sim

@@ -1,0 +1,37 @@
+// Basic units exchanged between simulator components.
+#pragma once
+
+#include <cstdint>
+
+namespace sealdl::sim {
+
+using Cycle = std::uint64_t;
+using Addr = std::uint64_t;
+
+/// One warp-level operation produced by a workload trace generator.
+///
+/// Loads/stores are line-granular (the generator performs coalescing: one
+/// 32-thread access to 32 consecutive words is one 128-byte line).
+struct WarpOp {
+  enum class Kind : std::uint8_t {
+    kLoad,       ///< non-blocking line load; counts as 1 warp instruction
+    kStore,      ///< posted line store; counts as 1 warp instruction
+    kCompute,    ///< `count` back-to-back ALU warp instructions
+    kWaitLoads,  ///< stall until at most `count` of this warp's loads remain
+                 ///< outstanding (count = 0 is a full barrier; a nonzero
+                 ///< threshold expresses double-buffered prefetching)
+  };
+  Kind kind = Kind::kCompute;
+  Addr addr = 0;            ///< for kLoad / kStore
+  std::uint32_t count = 1;  ///< for kCompute / kWaitLoads
+};
+
+/// A memory request traveling from an SM toward the memory system.
+struct MemRequest {
+  Addr addr = 0;        ///< line-aligned byte address
+  bool is_write = false;
+  int sm_id = -1;       ///< requester (loads only; -1 for writebacks)
+  int warp_id = -1;
+};
+
+}  // namespace sealdl::sim

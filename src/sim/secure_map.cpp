@@ -1,0 +1,69 @@
+#include "sim/secure_map.hpp"
+
+namespace sealdl::sim {
+
+void SecureMap::add_range(Addr begin, std::uint64_t size) {
+  if (size == 0) return;
+  Addr end = begin + size;
+  // Find the first range that could merge with [begin, end): any range whose
+  // end >= begin. Ranges are keyed by begin; scan from the first candidate.
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      it = ranges_.erase(prev);
+    }
+  }
+  while (it != ranges_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = ranges_.erase(it);
+  }
+  ranges_[begin] = end;
+}
+
+void SecureMap::remove_range(Addr begin, std::uint64_t size) {
+  if (size == 0) return;
+  const Addr end = begin + size;
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) --it;
+  while (it != ranges_.end() && it->first < end) {
+    const Addr r_begin = it->first;
+    const Addr r_end = it->second;
+    if (r_end <= begin) {
+      ++it;
+      continue;
+    }
+    it = ranges_.erase(it);
+    if (r_begin < begin) ranges_[r_begin] = begin;
+    if (r_end > end) {
+      ranges_[end] = r_end;
+      break;
+    }
+  }
+}
+
+bool SecureMap::is_secure(Addr addr) const {
+  auto it = ranges_.upper_bound(addr);
+  if (it == ranges_.begin()) return false;
+  --it;
+  return addr >= it->first && addr < it->second;
+}
+
+bool SecureMap::line_is_secure(Addr line_addr, int line_bytes) const {
+  auto it = ranges_.upper_bound(line_addr + static_cast<Addr>(line_bytes) - 1);
+  if (it == ranges_.begin()) return false;
+  --it;
+  // Range begins at or before the line's last byte; intersects iff it ends
+  // after the line's first byte.
+  return it->second > line_addr;
+}
+
+std::uint64_t SecureMap::secure_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [begin, end] : ranges_) total += end - begin;
+  return total;
+}
+
+}  // namespace sealdl::sim

@@ -1,0 +1,47 @@
+// Address-space map of which physical ranges hold encrypted ("secure") data.
+//
+// The SEAL runtime populates this from emalloc()/malloc() decisions and from
+// the per-channel feature-map encryption plan; the memory controllers consult
+// it on every DRAM transaction to decide whether the AES engine is on the
+// critical path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sim/request.hpp"
+
+namespace sealdl::sim {
+
+/// Sorted, coalesced set of half-open byte ranges [begin, end) that require
+/// encryption. Lookup is O(log n) in the number of disjoint ranges.
+class SecureMap {
+ public:
+  /// Marks [begin, begin+size) as secure; overlapping/adjacent ranges merge.
+  void add_range(Addr begin, std::uint64_t size);
+
+  /// Removes the secure marking from [begin, begin+size).
+  void remove_range(Addr begin, std::uint64_t size);
+
+  /// True if `addr` falls inside any secure range.
+  [[nodiscard]] bool is_secure(Addr addr) const;
+
+  /// True if the whole line starting at `line_addr` intersects a secure
+  /// range. Encryption granularity is a full line: a line that contains any
+  /// secure byte is treated as secure.
+  [[nodiscard]] bool line_is_secure(Addr line_addr, int line_bytes) const;
+
+  /// Total number of secure bytes.
+  [[nodiscard]] std::uint64_t secure_bytes() const;
+
+  /// Number of disjoint ranges (diagnostics / tests).
+  [[nodiscard]] std::size_t range_count() const { return ranges_.size(); }
+
+  void clear() { ranges_.clear(); }
+
+ private:
+  // begin -> end, non-overlapping, non-adjacent.
+  std::map<Addr, Addr> ranges_;
+};
+
+}  // namespace sealdl::sim

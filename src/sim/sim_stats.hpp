@@ -1,0 +1,56 @@
+// Aggregated statistics for one simulation run.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/request.hpp"
+
+namespace sealdl::sim {
+
+struct SimStats {
+  Cycle cycles = 0;
+
+  // Compute.
+  std::uint64_t warp_instructions = 0;
+  std::uint64_t thread_instructions = 0;
+
+  // L2.
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+
+  // DRAM traffic (data only).
+  std::uint64_t dram_read_bytes = 0;
+  std::uint64_t dram_write_bytes = 0;
+
+  // Encryption path.
+  std::uint64_t encrypted_bytes = 0;   ///< bytes that went through an AES engine
+  std::uint64_t bypassed_bytes = 0;    ///< secure-capable traffic that bypassed AES
+  double aes_busy_cycles = 0.0;        ///< summed over engines
+  double dram_busy_cycles = 0.0;       ///< summed over channels
+
+  // Counter mode.
+  std::uint64_t counter_hits = 0;
+  std::uint64_t counter_misses = 0;
+  std::uint64_t counter_traffic_bytes = 0;  ///< counter-block reads + writebacks
+
+  [[nodiscard]] double ipc() const {
+    return cycles ? static_cast<double>(thread_instructions) / static_cast<double>(cycles)
+                  : 0.0;
+  }
+
+  [[nodiscard]] double l2_hit_rate() const {
+    const std::uint64_t total = l2_hits + l2_misses;
+    return total ? static_cast<double>(l2_hits) / static_cast<double>(total) : 0.0;
+  }
+
+  [[nodiscard]] double counter_hit_rate() const {
+    const std::uint64_t total = counter_hits + counter_misses;
+    return total ? static_cast<double>(counter_hits) / static_cast<double>(total) : 0.0;
+  }
+
+  [[nodiscard]] std::uint64_t dram_bytes() const {
+    return dram_read_bytes + dram_write_bytes;
+  }
+};
+
+}  // namespace sealdl::sim

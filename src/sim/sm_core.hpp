@@ -1,0 +1,84 @@
+// One streaming multiprocessor: resident warps scheduled from an explicit
+// ready queue with a bounded in-flight load window (MSHR model).
+//
+// Readiness is event-driven: a warp leaves the ready queue when it blocks on
+// a load barrier or a full load window, and re-enters when a load response
+// arrives. tick() therefore costs O(issue_width), not O(warps), which keeps
+// memory-bound phases (the interesting ones for this paper) fast to simulate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/gpu_config.hpp"
+#include "sim/request.hpp"
+#include "sim/warp_program.hpp"
+
+namespace sealdl::sim {
+
+class SmCore {
+ public:
+  /// `send_request` hands a memory request to the interconnect.
+  SmCore(const GpuConfig& config, int sm_id,
+         std::function<void(Cycle, MemRequest)> send_request);
+
+  /// Assigns programs to warps; warps beyond programs.size() stay idle.
+  void load_programs(std::vector<WarpProgramPtr> programs);
+
+  /// Issues up to issue_width warp instructions; returns the number issued.
+  int tick(Cycle now);
+
+  /// Called when a line load for `warp_id` returns from the memory system.
+  void on_load_return(int warp_id);
+
+  [[nodiscard]] bool all_done() const { return live_warps_ == 0; }
+  [[nodiscard]] std::uint64_t warp_instructions() const { return instructions_; }
+  [[nodiscard]] int outstanding_loads() const { return sm_outstanding_; }
+
+  /// True if at least one warp could issue right now (used by the simulator's
+  /// idle-cycle fast-forward).
+  [[nodiscard]] bool has_ready_warp() const { return !ready_.empty(); }
+
+  /// Cycle of the next staggered warp launch, or Cycle max when none pend.
+  [[nodiscard]] Cycle next_launch_cycle() const {
+    return next_launch_ < launch_count_ ? next_launch_cycle_
+                                        : ~static_cast<Cycle>(0);
+  }
+
+ private:
+  enum class WarpWait : std::uint8_t {
+    kReady,       ///< in the ready queue
+    kLoads,       ///< blocked on a WaitLoads barrier
+    kWindow,      ///< blocked on the full per-SM load window
+    kDone,
+  };
+
+  struct WarpState {
+    WarpProgramPtr program;
+    std::optional<WarpOp> op;  ///< current (possibly partially retired) op
+    int outstanding_loads = 0;
+    int wait_threshold = 0;    ///< for kLoads: resume when outstanding <= this
+    WarpWait wait = WarpWait::kDone;
+  };
+
+  /// Refills warp.op and resolves satisfied barriers; marks the warp done or
+  /// barrier-blocked as needed. Returns true if the warp can issue now.
+  bool prepare(int idx, WarpState& warp);
+
+  const GpuConfig& config_;
+  int sm_id_;
+  std::function<void(Cycle, MemRequest)> send_request_;
+  std::vector<WarpState> warps_;
+  std::deque<int> ready_;        ///< round-robin issue order
+  std::vector<int> window_wait_; ///< warps parked on a full load window
+  int next_launch_ = 0;          ///< warps [next_launch_, ...) not yet started
+  Cycle next_launch_cycle_ = 0;
+  int launch_count_ = 0;         ///< total warps to launch
+  int live_warps_ = 0;
+  int sm_outstanding_ = 0;
+  std::uint64_t instructions_ = 0;
+};
+
+}  // namespace sealdl::sim

@@ -1,0 +1,24 @@
+// Interface between workload generators and the simulator's warps.
+//
+// A WarpProgram is a lazy instruction stream: the SM pulls one WarpOp at a
+// time, so multi-billion-instruction workloads never materialize in memory.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "sim/request.hpp"
+
+namespace sealdl::sim {
+
+class WarpProgram {
+ public:
+  virtual ~WarpProgram() = default;
+
+  /// Returns the next operation, or nullopt when the warp has retired.
+  virtual std::optional<WarpOp> next() = 0;
+};
+
+using WarpProgramPtr = std::unique_ptr<WarpProgram>;
+
+}  // namespace sealdl::sim

@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace sealdl::util {
+
+CliFlags::CliFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) throw std::invalid_argument("bare '--' is not a flag");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` if the next token is not itself a flag; else boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.count(name) > 0;
+}
+
+std::string CliFlags::get(const std::string& name,
+                          const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name,
+                               std::int64_t fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::stoll(it->second);
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::stod(it->second);
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> CliFlags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace sealdl::util

@@ -1,0 +1,47 @@
+// Lightweight leveled logging. Off by default above INFO so simulator inner
+// loops pay only a branch when logging is disabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sealdl::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr (thread-safe at line granularity).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace sealdl::util
+
+#define SEALDL_LOG(level)                                       \
+  if (static_cast<int>(level) < static_cast<int>(::sealdl::util::log_level())) \
+    ;                                                           \
+  else                                                          \
+    ::sealdl::util::detail::LogStream(level)
+
+#define SEALDL_DEBUG SEALDL_LOG(::sealdl::util::LogLevel::kDebug)
+#define SEALDL_INFO SEALDL_LOG(::sealdl::util::LogLevel::kInfo)
+#define SEALDL_WARN SEALDL_LOG(::sealdl::util::LogLevel::kWarn)
+#define SEALDL_ERROR SEALDL_LOG(::sealdl::util::LogLevel::kError)

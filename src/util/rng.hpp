@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for simulation and NN init.
+//
+// Every stochastic component in this repository (weight initialisation,
+// synthetic datasets, workload jitter) draws from an explicitly seeded Rng so
+// that tests and benchmarks are bit-reproducible across runs and platforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace sealdl::util {
+
+/// splitmix64: used to expand a single 64-bit seed into a full xoshiro state.
+/// Reference: Sebastiano Vigna, public-domain implementation.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG with a 256-bit state.
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can be used
+/// with <random> distributions, but also exposes convenience helpers that are
+/// deterministic across standard-library implementations (std::distributions
+/// are not portable; the helpers below are).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  float normal();
+
+  /// Normal with the given mean and standard deviation.
+  float normal(float mean, float stddev);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Creates an independent child stream (for per-component determinism).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace sealdl::util

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace sealdl::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v * 100.0 << "%";
+  return os.str();
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto emit_sep = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+
+  emit_sep();
+  emit_row(header_);
+  emit_sep();
+  for (const auto& row : rows_) emit_row(row);
+  emit_sep();
+  return os.str();
+}
+
+void Table::print() const { std::cout << render() << std::flush; }
+
+}  // namespace sealdl::util

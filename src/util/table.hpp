@@ -1,0 +1,37 @@
+// ASCII table rendering for benchmark harnesses and examples.
+//
+// Every bench binary reproduces one paper table/figure; this renderer prints
+// the rows/series in a uniform, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sealdl::util {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+
+  /// Formats a value as a percentage string, e.g. 0.416 -> "41.6%".
+  static std::string pct(double v, int precision = 1);
+
+  /// Renders the full table, including separators, to a string.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sealdl::util

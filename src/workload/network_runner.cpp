@@ -1,0 +1,83 @@
+#include "workload/network_runner.hpp"
+
+#include "sim/gpu_simulator.hpp"
+#include "workload/layer_trace.hpp"
+
+namespace sealdl::workload {
+
+double NetworkResult::total_cycles() const {
+  double total = 0.0;
+  for (const auto& layer : layers) total += layer.full_cycles();
+  return total;
+}
+
+double NetworkResult::overall_ipc() const {
+  double instructions = 0.0, cycles = 0.0;
+  for (const auto& layer : layers) {
+    instructions += static_cast<double>(layer.stats.thread_instructions) * layer.scale;
+    cycles += layer.full_cycles();
+  }
+  return cycles ? instructions / cycles : 0.0;
+}
+
+namespace {
+
+NetworkResult run_specs(const std::vector<models::LayerSpec>& specs,
+                        sim::GpuConfig config, const RunOptions& options) {
+  // Build the address-space layout once; all schemes share addresses so that
+  // results are comparable line for line.
+  core::SecureHeap heap;
+  core::EncryptionPlan plan;
+  const core::EncryptionPlan* plan_ptr = nullptr;
+  if (options.selective) {
+    std::vector<int> rows;
+    std::vector<bool> is_conv;
+    for (const auto& s : specs) {
+      if (s.type == models::LayerSpec::Type::kPool) continue;
+      rows.push_back(s.type == models::LayerSpec::Type::kConv ? s.in_channels
+                                                              : s.in_features);
+      is_conv.push_back(s.type == models::LayerSpec::Type::kConv);
+    }
+    plan = core::EncryptionPlan::from_row_counts(rows, is_conv, options.plan);
+    plan_ptr = &plan;
+  }
+  core::ModelLayout layout(specs, plan_ptr, heap);
+  config.selective = options.selective;
+
+  std::vector<std::size_t> indices = options.layer_filter;
+  if (indices.empty()) {
+    indices.resize(layout.layers().size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  }
+
+  NetworkResult result;
+  const int num_warps = config.num_sms * config.warps_per_sm;
+  for (const std::size_t idx : indices) {
+    const auto& layer = layout.layers().at(idx);
+    LayerWork work =
+        make_layer_programs(layer, num_warps, options.max_tiles_per_layer);
+    sim::GpuSimulator simulator(config, &heap.secure_map());
+    simulator.load_work(std::move(work.programs));
+    simulator.run();
+    LayerResult lr;
+    lr.name = layer.spec.name;
+    lr.stats = simulator.stats();
+    lr.scale = work.scale();
+    result.layers.push_back(std::move(lr));
+  }
+  return result;
+}
+
+}  // namespace
+
+NetworkResult run_network(const std::vector<models::LayerSpec>& specs,
+                          sim::GpuConfig config, const RunOptions& options) {
+  return run_specs(specs, config, options);
+}
+
+LayerResult run_single_layer(const models::LayerSpec& spec, sim::GpuConfig config,
+                             const RunOptions& options) {
+  return run_specs({spec}, config, options).layers.front();
+}
+
+}  // namespace sealdl::workload

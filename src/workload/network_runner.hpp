@@ -1,0 +1,57 @@
+// Whole-network timing runs: lay the model out, simulate every layer, and
+// aggregate IPC / latency under a given encryption configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/encryption_plan.hpp"
+#include "core/model_layout.hpp"
+#include "sim/gpu_config.hpp"
+#include "sim/sim_stats.hpp"
+
+namespace sealdl::workload {
+
+struct LayerResult {
+  std::string name;
+  sim::SimStats stats;       ///< raw stats of the simulated slice
+  double scale = 1.0;        ///< full-layer cycles = stats.cycles * scale
+  [[nodiscard]] double full_cycles() const {
+    return static_cast<double>(stats.cycles) * scale;
+  }
+  [[nodiscard]] double ipc() const { return stats.ipc(); }
+};
+
+struct NetworkResult {
+  std::vector<LayerResult> layers;
+
+  /// Whole-inference latency in core cycles (sampled layers scaled up).
+  [[nodiscard]] double total_cycles() const;
+
+  /// Aggregate IPC: total (scaled) instructions / total (scaled) cycles.
+  [[nodiscard]] double overall_ipc() const;
+};
+
+struct RunOptions {
+  /// Cap on simulated tiles per layer (0 = exact). Sampling keeps full-network
+  /// runs fast; per-layer cycles are scaled by the uncovered tile fraction.
+  std::uint64_t max_tiles_per_layer = 2000;
+  core::PlanOptions plan;
+  /// When true, a SEAL plan (from `plan`) drives selective encryption; when
+  /// false the whole address space is treated per the scheme.
+  bool selective = false;
+  /// When non-empty, only these spec indices are simulated (the full layout
+  /// is still built, so e.g. a POOL keeps the channel encryption induced by
+  /// its downstream CONV). Results appear in filter order.
+  std::vector<std::size_t> layer_filter;
+};
+
+/// Simulates one network described by `specs` under `config`.
+NetworkResult run_network(const std::vector<models::LayerSpec>& specs,
+                          sim::GpuConfig config, const RunOptions& options);
+
+/// Simulates a single layer (helper for the per-layer figures).
+LayerResult run_single_layer(const models::LayerSpec& spec, sim::GpuConfig config,
+                             const RunOptions& options);
+
+}  // namespace sealdl::workload

@@ -1,0 +1,206 @@
+// SecureHeap (emalloc) and ModelLayout: placement, alignment, and the
+// secure-range marking that drives selective encryption.
+#include <gtest/gtest.h>
+
+#include "core/model_layout.hpp"
+#include "core/secure_heap.hpp"
+#include "models/layer_spec.hpp"
+
+namespace sealdl::core {
+namespace {
+
+TEST(SecureHeap, MallocIsNotSecure) {
+  SecureHeap heap;
+  const auto a = heap.malloc(1000);
+  EXPECT_FALSE(heap.secure_map().is_secure(a.addr));
+  EXPECT_EQ(heap.secure_map().secure_bytes(), 0u);
+}
+
+TEST(SecureHeap, EmallocIsSecure) {
+  SecureHeap heap;
+  const auto a = heap.emalloc(1000);
+  EXPECT_TRUE(heap.secure_map().is_secure(a.addr));
+  EXPECT_TRUE(heap.secure_map().is_secure(a.addr + 999));
+  EXPECT_FALSE(heap.secure_map().is_secure(a.addr + 1000));
+}
+
+TEST(SecureHeap, AllocationsAreLineAlignedAndDisjoint) {
+  SecureHeap heap;
+  const auto a = heap.malloc(130);
+  const auto b = heap.emalloc(1);
+  EXPECT_EQ(a.addr % 128, 0u);
+  EXPECT_EQ(b.addr % 128, 0u);
+  EXPECT_GE(b.addr, a.addr + 130);
+}
+
+TEST(SecureHeap, ExhaustionThrows) {
+  SecureHeap heap(0x1000, 1024);
+  heap.malloc(512);
+  EXPECT_THROW(heap.malloc(1024), std::bad_alloc);
+}
+
+TEST(SecureHeap, MarkSecureSubRange) {
+  SecureHeap heap;
+  const auto a = heap.malloc(4096);
+  heap.mark_secure(a.addr + 128, 256);
+  EXPECT_FALSE(heap.secure_map().is_secure(a.addr));
+  EXPECT_TRUE(heap.secure_map().is_secure(a.addr + 128));
+  EXPECT_TRUE(heap.secure_map().is_secure(a.addr + 383));
+  EXPECT_FALSE(heap.secure_map().is_secure(a.addr + 384));
+}
+
+std::vector<models::LayerSpec> small_chain() {
+  // conv(8ch,16x16) -> pool -> conv(8->16) -> fc
+  using models::LayerSpec;
+  std::vector<LayerSpec> specs;
+  LayerSpec conv1;
+  conv1.type = LayerSpec::Type::kConv;
+  conv1.name = "conv1";
+  conv1.in_channels = 8;
+  conv1.out_channels = 8;
+  conv1.in_h = conv1.in_w = 16;
+  specs.push_back(conv1);
+  LayerSpec pool;
+  pool.type = LayerSpec::Type::kPool;
+  pool.name = "pool";
+  pool.in_channels = pool.out_channels = 8;
+  pool.in_h = pool.in_w = 16;
+  pool.kernel = pool.stride = 2;
+  pool.padding = 0;
+  specs.push_back(pool);
+  LayerSpec conv2 = conv1;
+  conv2.name = "conv2";
+  conv2.in_channels = 8;
+  conv2.out_channels = 16;
+  conv2.in_h = conv2.in_w = 8;
+  specs.push_back(conv2);
+  LayerSpec fc;
+  fc.type = LayerSpec::Type::kFc;
+  fc.name = "fc";
+  fc.in_features = 16 * 8 * 8;
+  fc.out_features = 10;
+  specs.push_back(fc);
+  return specs;
+}
+
+TEST(ModelLayout, WithoutPlanNothingIsSecure) {
+  SecureHeap heap;
+  ModelLayout layout(small_chain(), nullptr, heap);
+  EXPECT_EQ(heap.secure_map().secure_bytes(), 0u);
+  EXPECT_EQ(layout.layers().size(), 4u);
+}
+
+TEST(ModelLayout, AddressingIsInternallyConsistent) {
+  SecureHeap heap;
+  ModelLayout layout(small_chain(), nullptr, heap);
+  const auto& layers = layout.layers();
+  // Chaining: each layer's ofmap buffer is the next layer's ifmap buffer.
+  for (std::size_t i = 0; i + 1 < layers.size(); ++i) {
+    EXPECT_EQ(layers[i].ofmap_base, layers[i + 1].ifmap_base) << i;
+  }
+  // Weight rows are line aligned.
+  for (const auto& l : layers) {
+    if (l.spec.type == models::LayerSpec::Type::kPool) {
+      EXPECT_EQ(l.weight_base, 0u);
+      continue;
+    }
+    EXPECT_EQ(l.weight_base % 128, 0u);
+    EXPECT_EQ(l.weight_row_pitch % 128, 0u);
+    EXPECT_GE(l.weight_row_pitch, l.weight_row_bytes);
+  }
+}
+
+EncryptionPlan plan_for(const std::vector<models::LayerSpec>& specs, double ratio,
+                        bool boundary = false) {
+  std::vector<int> rows;
+  std::vector<bool> is_conv;
+  for (const auto& s : specs) {
+    if (s.type == models::LayerSpec::Type::kPool) continue;
+    rows.push_back(s.type == models::LayerSpec::Type::kConv ? s.in_channels
+                                                            : s.in_features);
+    is_conv.push_back(s.type == models::LayerSpec::Type::kConv);
+  }
+  PlanOptions options;
+  options.encryption_ratio = ratio;
+  if (!boundary) {
+    options.full_head_convs = 0;
+    options.full_tail_convs = 0;
+    options.full_tail_fcs = 0;
+  }
+  return EncryptionPlan::from_row_counts(rows, is_conv, options);
+}
+
+TEST(ModelLayout, PlanMarksWeightRowsAndFmapChannels) {
+  const auto specs = small_chain();
+  const auto plan = plan_for(specs, 0.5);
+  SecureHeap heap;
+  ModelLayout layout(specs, &plan, heap);
+  const auto& conv1 = layout.layers()[0];
+
+  // Exactly the encrypted rows of conv1's plan are secure in its weights.
+  const auto& lp = plan.layer(0);
+  for (int r = 0; r < 8; ++r) {
+    const sim::Addr row_addr =
+        conv1.weight_base + static_cast<std::uint64_t>(r) * conv1.weight_row_pitch;
+    EXPECT_EQ(heap.secure_map().is_secure(row_addr), lp.row_encrypted(r))
+        << "row " << r;
+  }
+  // conv1's input channels mirror its encrypted rows (consumer rule).
+  for (int c = 0; c < 8; ++c) {
+    const sim::Addr ch_addr =
+        conv1.ifmap_base + static_cast<std::uint64_t>(c) * conv1.ifmap_channel_pitch;
+    EXPECT_EQ(heap.secure_map().is_secure(ch_addr), lp.row_encrypted(c))
+        << "channel " << c;
+  }
+}
+
+TEST(ModelLayout, PoolInheritsDownstreamConvChannels) {
+  const auto specs = small_chain();
+  const auto plan = plan_for(specs, 0.5);
+  SecureHeap heap;
+  ModelLayout layout(specs, &plan, heap);
+  const auto& pool = layout.layers()[1];
+  const auto& lp_conv2 = plan.layer(1);  // consumer of the pool's *output*...
+  // The pool's input fmap is consumed by the pool itself; the next weight
+  // layer downstream is conv2, so the pool input channels carry conv2's rows.
+  for (int c = 0; c < 8; ++c) {
+    const sim::Addr ch_addr =
+        pool.ifmap_base + static_cast<std::uint64_t>(c) * pool.ifmap_channel_pitch;
+    EXPECT_EQ(heap.secure_map().is_secure(ch_addr), lp_conv2.row_encrypted(c))
+        << "pool channel " << c;
+  }
+}
+
+TEST(ModelLayout, NetworkOutputFullyEncryptedUnderSeal) {
+  const auto specs = small_chain();
+  const auto plan = plan_for(specs, 0.3);
+  SecureHeap heap;
+  ModelLayout layout(specs, &plan, heap);
+  const auto& fc = layout.layers().back();
+  EXPECT_TRUE(heap.secure_map().is_secure(fc.ofmap_base));
+}
+
+TEST(ModelLayout, SecureFractionTracksRatio) {
+  const auto specs = models::vgg16_specs(32);
+  for (double ratio : {0.2, 0.5, 0.8}) {
+    const auto plan = plan_for(specs, ratio);
+    SecureHeap heap;
+    ModelLayout layout(specs, &plan, heap);
+    const double fraction =
+        static_cast<double>(heap.secure_map().secure_bytes()) /
+        static_cast<double>(layout.total_bytes());
+    // Line-granular padding and the always-encrypted output blur the exact
+    // value; it must still track the requested ratio.
+    EXPECT_NEAR(fraction, ratio, 0.15) << "ratio " << ratio;
+  }
+}
+
+TEST(ModelLayout, PlanMismatchThrows) {
+  const auto specs = small_chain();
+  const auto plan = plan_for({specs[0]}, 0.5);  // plan for 1 layer, specs have 3
+  SecureHeap heap;
+  EXPECT_THROW(ModelLayout(specs, &plan, heap), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sealdl::core

@@ -1,0 +1,209 @@
+// SEAL core: l1 importance, encryption plan construction, boundary policy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/encryption_plan.hpp"
+#include "core/importance.hpp"
+#include "models/build.hpp"
+#include "nn/basic_layers.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/network.hpp"
+
+namespace sealdl::core {
+namespace {
+
+TEST(Importance, ConvRowL1MatchesManualSum) {
+  util::Rng rng(1);
+  nn::Conv2d conv(2, 2, 2, 1, 0, false, rng);
+  // weight[oc][ic][kh][kw]
+  float v = 1.0f;
+  for (std::size_t i = 0; i < conv.weight().value.numel(); ++i) {
+    conv.weight().value[i] = (i % 2 ? -1.0f : 1.0f) * v;
+    v += 1.0f;
+  }
+  nn::Sequential net;
+  const auto layers_before = collect_weight_layers(conv);
+  ASSERT_EQ(layers_before.size(), 1u);
+  const auto norms = kernel_row_l1(layers_before[0]);
+  ASSERT_EQ(norms.size(), 2u);
+  // Row 0 = |w| over weight[:,0,:,:]; recompute manually.
+  float row0 = 0, row1 = 0;
+  for (int oc = 0; oc < 2; ++oc) {
+    for (int ic = 0; ic < 2; ++ic) {
+      for (int k = 0; k < 4; ++k) {
+        const float w = conv.weight().value.at4(oc, ic, k / 2, k % 2);
+        (ic == 0 ? row0 : row1) += std::fabs(w);
+      }
+    }
+  }
+  EXPECT_FLOAT_EQ(norms[0], row0);
+  EXPECT_FLOAT_EQ(norms[1], row1);
+}
+
+TEST(Importance, LinearRowIsInputColumn) {
+  util::Rng rng(2);
+  nn::Linear fc(3, 2, false, rng);
+  fc.weight().value = nn::Tensor({2, 3}, {1, -2, 3, -4, 5, -6});
+  const auto layers = collect_weight_layers(fc);
+  const auto norms = kernel_row_l1(layers[0]);
+  EXPECT_FLOAT_EQ(norms[0], 5.0f);   // |1| + |-4|
+  EXPECT_FLOAT_EQ(norms[1], 7.0f);   // |-2| + |5|
+  EXPECT_FLOAT_EQ(norms[2], 9.0f);
+}
+
+TEST(Importance, AscendingOrderSortsByNorm) {
+  const auto order = rows_by_ascending_importance({3.0f, 1.0f, 2.0f});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(Importance, TiesBreakByIndex) {
+  const auto order = rows_by_ascending_importance({1.0f, 1.0f, 0.5f});
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(Plan, RatioEncryptsLargestRows) {
+  util::Rng rng(3);
+  nn::Sequential net;
+  auto conv = std::make_unique<nn::Conv2d>(4, 1, 1, 1, 0, false, rng);
+  // Rows with l1 norms 1,2,3,4 (weights [oc=0][ic][0][0]).
+  conv->weight().value = nn::Tensor({1, 4, 1, 1}, {1, -2, 3, -4});
+  net.add(std::move(conv));
+
+  PlanOptions options;
+  options.encryption_ratio = 0.5;
+  options.full_head_convs = 0;
+  options.full_tail_convs = 0;
+  options.full_tail_fcs = 0;
+  const auto plan = EncryptionPlan::from_model(net, options);
+  ASSERT_EQ(plan.layer_count(), 1u);
+  const LayerPlan& lp = plan.layer(0);
+  EXPECT_EQ(lp.encrypted_count(), 2);
+  EXPECT_FALSE(lp.row_encrypted(0));
+  EXPECT_FALSE(lp.row_encrypted(1));
+  EXPECT_TRUE(lp.row_encrypted(2));  // largest two norms
+  EXPECT_TRUE(lp.row_encrypted(3));
+}
+
+TEST(Plan, RatioRoundsUp) {
+  std::vector<int> rows{3};
+  std::vector<bool> is_conv{true};
+  PlanOptions options;
+  options.encryption_ratio = 0.5;
+  options.full_head_convs = 0;
+  options.full_tail_convs = 0;
+  options.full_tail_fcs = 0;
+  const auto plan = EncryptionPlan::from_row_counts(rows, is_conv, options);
+  EXPECT_EQ(plan.layer(0).encrypted_count(), 2);  // ceil(1.5)
+}
+
+TEST(Plan, BoundaryPolicyFullyEncryptsHeadAndTail) {
+  // 5 convs + 2 fcs: head 2 convs, tail 1 conv, tail 1 fc fully encrypted.
+  std::vector<int> rows{8, 8, 8, 8, 8, 16, 16};
+  std::vector<bool> is_conv{true, true, true, true, true, false, false};
+  PlanOptions options;
+  options.encryption_ratio = 0.25;
+  const auto plan = EncryptionPlan::from_row_counts(rows, is_conv, options);
+  EXPECT_TRUE(plan.layer(0).fully_encrypted);
+  EXPECT_TRUE(plan.layer(1).fully_encrypted);
+  EXPECT_FALSE(plan.layer(2).fully_encrypted);
+  EXPECT_FALSE(plan.layer(3).fully_encrypted);
+  EXPECT_TRUE(plan.layer(4).fully_encrypted);   // last conv
+  EXPECT_FALSE(plan.layer(5).fully_encrypted);  // middle fc uses SE
+  EXPECT_TRUE(plan.layer(6).fully_encrypted);   // last fc
+  EXPECT_EQ(plan.layer(2).encrypted_count(), 2);
+}
+
+TEST(Plan, RatioOneEncryptsEverything) {
+  std::vector<int> rows{8, 8, 8};
+  std::vector<bool> is_conv{true, true, true};
+  PlanOptions options;
+  options.encryption_ratio = 1.0;
+  options.full_head_convs = 0;
+  options.full_tail_convs = 0;
+  options.full_tail_fcs = 0;
+  const auto plan = EncryptionPlan::from_row_counts(rows, is_conv, options);
+  for (const auto& lp : plan.layers()) {
+    EXPECT_TRUE(lp.fully_encrypted);
+  }
+  EXPECT_DOUBLE_EQ(plan.overall_encrypted_weight_fraction(), 1.0);
+}
+
+TEST(Plan, RatioZeroLeavesMiddleLayersPlain) {
+  std::vector<int> rows{8, 8, 8, 8};
+  std::vector<bool> is_conv{true, true, true, true};
+  PlanOptions options;
+  options.encryption_ratio = 0.0;
+  const auto plan = EncryptionPlan::from_row_counts(rows, is_conv, options);
+  EXPECT_EQ(plan.layer(2).encrypted_count(), 0);
+  EXPECT_TRUE(plan.layer(0).fully_encrypted);  // policy still applies
+}
+
+TEST(Plan, RandomPolicyEncryptsRequestedCount) {
+  std::vector<int> rows{100};
+  std::vector<bool> is_conv{true};
+  PlanOptions options;
+  options.encryption_ratio = 0.37;
+  options.policy = RowPolicy::kRandomPlain;
+  options.full_head_convs = 0;
+  options.full_tail_convs = 0;
+  options.full_tail_fcs = 0;
+  const auto plan = EncryptionPlan::from_row_counts(rows, is_conv, options);
+  EXPECT_EQ(plan.layer(0).encrypted_count(), 37);
+}
+
+TEST(Plan, InvertedPolicyExposesLargestRows) {
+  util::Rng rng(4);
+  nn::Sequential net;
+  auto conv = std::make_unique<nn::Conv2d>(4, 1, 1, 1, 0, false, rng);
+  conv->weight().value = nn::Tensor({1, 4, 1, 1}, {1, -2, 3, -4});
+  net.add(std::move(conv));
+  PlanOptions options;
+  options.encryption_ratio = 0.5;
+  options.policy = RowPolicy::kLargestL1Plain;
+  options.full_head_convs = 0;
+  options.full_tail_convs = 0;
+  options.full_tail_fcs = 0;
+  const auto plan = EncryptionPlan::from_model(net, options);
+  EXPECT_TRUE(plan.layer(0).row_encrypted(0));   // smallest encrypted
+  EXPECT_FALSE(plan.layer(0).row_encrypted(3));  // largest exposed
+}
+
+TEST(Plan, FromModelCoversVgg16Structure) {
+  models::BuildOptions build;
+  build.input_hw = 16;
+  build.width_div = 16;
+  auto model = models::build_vgg16(build);
+  PlanOptions options;  // paper defaults
+  const auto plan = EncryptionPlan::from_model(*model, options);
+  EXPECT_EQ(plan.layer_count(), 16u);  // 13 conv + 3 fc
+  // Overall fraction sits above the nominal 50% because boundary layers are
+  // fully encrypted.
+  EXPECT_GT(plan.overall_encrypted_weight_fraction(), 0.5);
+  EXPECT_LT(plan.overall_encrypted_weight_fraction(), 1.0);
+}
+
+class PlanRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlanRatioSweep, PerLayerFractionTracksRatio) {
+  const double ratio = GetParam();
+  std::vector<int> rows{64, 64, 64, 64, 64, 64};
+  std::vector<bool> is_conv(6, true);
+  PlanOptions options;
+  options.encryption_ratio = ratio;
+  options.full_head_convs = 0;
+  options.full_tail_convs = 0;
+  options.full_tail_fcs = 0;
+  const auto plan = EncryptionPlan::from_row_counts(rows, is_conv, options);
+  for (const auto& lp : plan.layers()) {
+    EXPECT_NEAR(lp.encrypted_fraction(), ratio, 1.0 / 64.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, PlanRatioSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7,
+                                           0.8, 0.9));
+
+}  // namespace
+}  // namespace sealdl::core

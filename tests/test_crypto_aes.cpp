@@ -1,0 +1,156 @@
+// AES-128 conformance: FIPS-197 appendix vectors, SP 800-38A CTR vectors,
+// and algebraic properties over random inputs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "crypto/aes128.hpp"
+#include "crypto/modes.hpp"
+#include "util/rng.hpp"
+
+namespace sealdl::crypto {
+namespace {
+
+Block from_hex(const std::string& hex) {
+  Block b{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    b[i] = static_cast<std::uint8_t>(std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+  }
+  return b;
+}
+
+std::string to_hex(const Block& b) {
+  std::string out;
+  char buf[3];
+  for (std::uint8_t v : b) {
+    std::snprintf(buf, sizeof buf, "%02x", v);
+    out += buf;
+  }
+  return out;
+}
+
+TEST(Aes128, Fips197AppendixCExample) {
+  // FIPS-197 Appendix C.1: AES-128 with the 000102... key.
+  const Key128 key = from_hex("000102030405060708090a0b0c0d0e0f");
+  Aes128 aes(key);
+  Block block = from_hex("00112233445566778899aabbccddeeff");
+  aes.encrypt_block(block);
+  EXPECT_EQ(to_hex(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, Fips197AppendixCDecrypt) {
+  const Key128 key = from_hex("000102030405060708090a0b0c0d0e0f");
+  Aes128 aes(key);
+  Block block = from_hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+  aes.decrypt_block(block);
+  EXPECT_EQ(to_hex(block), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes128, Fips197AppendixBExample) {
+  // FIPS-197 Appendix B: the 2b7e... key on the 3243... input.
+  const Key128 key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128 aes(key);
+  Block block = from_hex("3243f6a8885a308d313198a2e0370734");
+  aes.encrypt_block(block);
+  EXPECT_EQ(to_hex(block), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, KeyExpansionFirstAndLastRoundKeys) {
+  // FIPS-197 Appendix A.1 key schedule checkpoints.
+  const Key128 key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128 aes(key);
+  EXPECT_EQ(to_hex(aes.round_keys()[0]), "2b7e151628aed2a6abf7158809cf4f3c");
+  EXPECT_EQ(to_hex(aes.round_keys()[1]), "a0fafe1788542cb123a339392a6c7605");
+  EXPECT_EQ(to_hex(aes.round_keys()[10]), "d014f9a8c9ee2589e13f0cc8b6630ca6");
+}
+
+TEST(Aes128, Sp80038aCtrVectors) {
+  // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt, first two blocks.
+  const Key128 key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128 aes(key);
+  const Block counter0 = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+
+  std::array<std::uint8_t, 32> data{};
+  const Block p1 = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  const Block p2 = from_hex("ae2d8a571e03ac9c9eb76fac45af8e51");
+  std::copy(p1.begin(), p1.end(), data.begin());
+  std::copy(p2.begin(), p2.end(), data.begin() + 16);
+
+  ctr_keystream_xor(aes, counter0, data);
+
+  Block c1{}, c2{};
+  std::copy(data.begin(), data.begin() + 16, c1.begin());
+  std::copy(data.begin() + 16, data.end(), c2.begin());
+  EXPECT_EQ(to_hex(c1), "874d6191b620e3261bef6864990db6ce");
+  EXPECT_EQ(to_hex(c2), "9806f66b7970fdff8617187bb9fffdff");
+}
+
+TEST(Aes128, CtrIsAnInvolution) {
+  const Key128 key = from_hex("000102030405060708090a0b0c0d0e0f");
+  Aes128 aes(key);
+  const Block counter0 = from_hex("00000000000000000000000000000001");
+  std::array<std::uint8_t, 40> data{};
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 7);
+  auto original = data;
+  ctr_keystream_xor(aes, counter0, data);
+  EXPECT_NE(data, original);
+  ctr_keystream_xor(aes, counter0, data);
+  EXPECT_EQ(data, original);
+}
+
+class AesRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AesRoundTrip, DecryptInvertsEncrypt) {
+  util::Rng rng(GetParam());
+  Key128 key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  Aes128 aes(key);
+  for (int trial = 0; trial < 32; ++trial) {
+    Block plain{};
+    for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next());
+    Block block = plain;
+    aes.encrypt_block(block);
+    EXPECT_NE(block, plain);  // 2^-128 failure probability
+    aes.decrypt_block(block);
+    EXPECT_EQ(block, plain);
+  }
+}
+
+TEST_P(AesRoundTrip, CiphertextDiffersAcrossKeys) {
+  util::Rng rng(GetParam());
+  Key128 k1{}, k2{};
+  for (auto& b : k1) b = static_cast<std::uint8_t>(rng.next());
+  k2 = k1;
+  k2[0] ^= 1;
+  Aes128 a1(k1), a2(k2);
+  Block p{};
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.next());
+  Block c1 = p, c2 = p;
+  a1.encrypt_block(c1);
+  a2.encrypt_block(c2);
+  EXPECT_NE(c1, c2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AesRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Aes128, AvalancheOnPlaintextBit) {
+  const Key128 key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128 aes(key);
+  Block a = from_hex("00000000000000000000000000000000");
+  Block b = a;
+  b[15] ^= 0x01;
+  aes.encrypt_block(a);
+  aes.encrypt_block(b);
+  int diff_bits = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    diff_bits += __builtin_popcount(static_cast<unsigned>(a[i] ^ b[i]));
+  }
+  // A healthy block cipher flips ~64 of 128 bits; accept a generous band.
+  EXPECT_GT(diff_bits, 40);
+  EXPECT_LT(diff_bits, 88);
+}
+
+}  // namespace
+}  // namespace sealdl::crypto

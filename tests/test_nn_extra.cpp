@@ -1,0 +1,203 @@
+// Additional NN-framework behaviour: init statistics, BN state cloning,
+// trainer details, error paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/basic_layers.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dataset.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optim.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace sealdl::nn {
+namespace {
+
+TEST(Init, ConvHeInitMatchesTargetVariance) {
+  util::Rng rng(77);
+  Conv2d conv(64, 64, 3, 1, 1, false, rng);
+  double sum = 0, sum_sq = 0;
+  const auto n = conv.weight().value.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += conv.weight().value[i];
+    sum_sq += static_cast<double>(conv.weight().value[i]) * conv.weight().value[i];
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sum_sq / static_cast<double>(n) - mean * mean;
+  // He: var = 2 / fan_in = 2 / (64*9).
+  EXPECT_NEAR(mean, 0.0, 0.001);
+  EXPECT_NEAR(var, 2.0 / (64.0 * 9.0), 2.0 / (64.0 * 9.0) * 0.1);
+}
+
+TEST(BatchNorm, CopyParamsCarriesRunningStatistics) {
+  BatchNorm2d a(2), b(2);
+  Tensor x({4, 2, 2, 2});
+  util::Rng rng(3);
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.normal(3.0f, 2.0f);
+  for (int step = 0; step < 20; ++step) a.forward(x, /*train=*/true);
+
+  // Wrap in Sequentials so copy_params exercises the leaf walk.
+  Sequential sa, sb;
+  sa.add(std::make_unique<BatchNorm2d>(std::move(a)));
+  sb.add(std::make_unique<BatchNorm2d>(std::move(b)));
+  copy_params(sa, sb);
+
+  // Eval-mode outputs must now match on fresh data.
+  Tensor probe({2, 2, 2, 2});
+  for (std::size_t i = 0; i < probe.numel(); ++i) probe[i] = rng.normal(3.0f, 2.0f);
+  const Tensor ya = sa.forward(probe, false);
+  const Tensor yb = sb.forward(probe, false);
+  for (std::size_t i = 0; i < ya.numel(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(BatchNorm, WithoutStatsCopyEvalOutputsDiffer) {
+  // The negative control for the test above: parameter-only cloning leaves
+  // blank running stats and a visibly different normalization.
+  BatchNorm2d a(1), b(1);
+  Tensor x({8, 1, 2, 2});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = 5.0f + static_cast<float>(i % 3);
+  for (int step = 0; step < 20; ++step) a.forward(x, true);
+  const Tensor ya = a.forward(x, false);
+  const Tensor yb = b.forward(x, false);
+  double diff = 0;
+  for (std::size_t i = 0; i < ya.numel(); ++i) diff += std::abs(ya[i] - yb[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Trainer, LrDecayShrinksStepSizes) {
+  // Same data, two schedules: strong decay must end with weights closer to
+  // the first-epoch trajectory (smaller total movement after epoch 1).
+  DatasetConfig config;
+  config.height = config.width = 8;
+  config.samples = 120;
+  SyntheticDataset data(config);
+  auto make = [] {
+    util::Rng rng(9);
+    auto net = std::make_unique<Sequential>();
+    net->add(std::make_unique<Flatten>());
+    net->add(std::make_unique<Linear>(3 * 8 * 8, 10, true, rng));
+    return net;
+  };
+  auto run = [&](float decay) {
+    auto net = make();
+    TrainOptions options;
+    options.epochs = 1;
+    options.sgd.lr = 0.05f;
+    std::vector<int> idx(100);
+    for (int i = 0; i < 100; ++i) idx[static_cast<std::size_t>(i)] = i;
+    train(*net, data, idx, {}, options);
+    const auto snapshot = serialize_params(*net);
+    options.epochs = 3;
+    options.sgd.lr = 0.05f * decay;  // emulate post-decay continuation
+    train(*net, data, idx, {}, options);
+    const auto after = serialize_params(*net);
+    double moved = 0;
+    const auto* a = reinterpret_cast<const float*>(snapshot.data());
+    const auto* b = reinterpret_cast<const float*>(after.data());
+    for (std::size_t i = 0; i < snapshot.size() / 4; ++i) moved += std::abs(a[i] - b[i]);
+    return moved;
+  };
+  EXPECT_LT(run(0.1f), run(1.0f));
+}
+
+TEST(Trainer, MismatchedLabelsThrow) {
+  DatasetConfig config;
+  config.height = config.width = 8;
+  config.samples = 20;
+  SyntheticDataset data(config);
+  util::Rng rng(1);
+  Sequential net;
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>(3 * 8 * 8, 10, true, rng));
+  TrainOptions options;
+  EXPECT_THROW(train(net, data, {0, 1, 2}, {0, 1}, options), std::invalid_argument);
+  EXPECT_THROW(evaluate_with_labels(net, data, {0, 1}, {0}), std::invalid_argument);
+}
+
+TEST(Loss, RejectsOutOfRangeLabels) {
+  Tensor logits({1, 4});
+  EXPECT_THROW(softmax_cross_entropy(logits, {4}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {-1}), std::invalid_argument);
+}
+
+TEST(Tensor, AddMismatchThrows) {
+  Tensor a({2, 2}), b({3, 3});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+}
+
+TEST(Sgd, ZeroGradClearsAllParams) {
+  Param p1("a", Tensor({1, 2}, {1, 2}));
+  Param p2("b", Tensor({1, 1}, {3}));
+  p1.grad[0] = 5;
+  p2.grad[0] = 7;
+  SgdOptimizer opt({&p1, &p2}, {});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p1.grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(p2.grad[0], 0.0f);
+}
+
+TEST(Dataset, BatchLabelsParallelToBatch) {
+  DatasetConfig config;
+  config.height = config.width = 8;
+  config.samples = 30;
+  SyntheticDataset data(config);
+  const std::vector<int> idx{3, 17, 25};
+  const auto labels = data.batch_labels(idx);
+  ASSERT_EQ(labels.size(), 3u);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_EQ(labels[i], data.label(idx[i]));
+  }
+  EXPECT_THROW(data.batch({999}), std::out_of_range);
+}
+
+TEST(Dataset, ContrastJitterWidensSampleSpread) {
+  DatasetConfig low;
+  low.height = low.width = 8;
+  low.samples = 200;
+  low.noise_stddev = 0.0f;
+  low.max_shift = 0;
+  low.contrast_jitter = 0.0f;
+  DatasetConfig high = low;
+  high.contrast_jitter = 0.5f;
+  SyntheticDataset a(low), b(high);
+  // Per-class pixel variance across samples is larger with jitter.
+  auto spread = [](const SyntheticDataset& data) {
+    double var = 0;
+    for (int s = 0; s < 10; ++s) {  // 10 samples of class 0: indices 0,10,..
+      const auto x = data.batch({s * 10});
+      var += static_cast<double>(x[0]) * x[0];
+    }
+    return var;
+  };
+  // With zero jitter+noise+shift, class-0 samples are identical.
+  const auto x0 = a.batch({0});
+  const auto x1 = a.batch({10});
+  for (std::size_t i = 0; i < x0.numel(); ++i) EXPECT_FLOAT_EQ(x0[i], x1[i]);
+  const auto y0 = b.batch({0});
+  const auto y1 = b.batch({10});
+  bool differ = false;
+  for (std::size_t i = 0; i < y0.numel(); ++i) differ |= y0[i] != y1[i];
+  EXPECT_TRUE(differ);
+  (void)spread;
+}
+
+TEST(Network, SequentialRejectsNullLayer) {
+  Sequential net;
+  EXPECT_THROW(net.add(nullptr), std::invalid_argument);
+}
+
+TEST(Network, ResidualRejectsShapeMismatch) {
+  util::Rng rng(2);
+  auto main_path = std::make_unique<Sequential>();
+  main_path->add(std::make_unique<Conv2d>(2, 4, 3, 1, 1, false, rng));  // 2ch->4ch
+  ResidualBlock block(std::move(main_path), nullptr);                   // identity skip
+  Tensor x({1, 2, 4, 4});
+  EXPECT_THROW(block.forward(x, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sealdl::nn

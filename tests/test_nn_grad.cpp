@@ -1,0 +1,184 @@
+// Numerical gradient checks: every layer's backward() against central
+// finite differences of the loss through forward().
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/basic_layers.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+
+namespace sealdl::nn {
+namespace {
+
+/// Scalar loss = weighted sum of outputs, so dL/dy is a fixed tensor.
+float weighted_sum(const Tensor& y, const Tensor& weights) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < y.numel(); ++i) acc += y[i] * weights[i];
+  return acc;
+}
+
+Tensor random_tensor(std::vector<int> shape, util::Rng& rng, float scale = 1.0f) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.normal(0.0f, scale);
+  return t;
+}
+
+/// Checks d(weighted_sum(layer(x)))/dx and the parameter gradients.
+/// `max_violation_fraction` tolerates a few finite-difference probes landing
+/// on ReLU/max kinks in composite models (the analytic gradient is one-sided
+/// there and both sides are valid subgradients).
+void check_layer_gradients(Layer& layer, const Tensor& x, std::uint64_t seed,
+                           float tolerance = 2e-2f,
+                           double max_violation_fraction = 0.0) {
+  util::Rng rng(seed);
+  Tensor probe_x = x;
+  Tensor y = layer.forward(probe_x, /*train=*/true);
+  const Tensor loss_weights = random_tensor(y.shape(), rng);
+
+  for (Param* p : layer.params()) p->zero_grad();
+  Tensor analytic_gx = layer.backward(loss_weights);
+
+  int probes = 0, violations = 0;
+  auto check = [&](float analytic, float numeric, const std::string& what) {
+    ++probes;
+    const float bound = tolerance * std::max(1.0f, std::fabs(numeric));
+    if (std::fabs(analytic - numeric) > bound) {
+      ++violations;
+      if (max_violation_fraction == 0.0) {
+        ADD_FAILURE() << what << ": analytic " << analytic << " vs numeric "
+                      << numeric;
+      }
+    }
+  };
+
+  // Input gradient.
+  const float h = 1e-2f;
+  for (std::size_t i = 0; i < x.numel(); i += std::max<std::size_t>(1, x.numel() / 24)) {
+    Tensor xp = x, xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    const float fp = weighted_sum(layer.forward(xp, true), loss_weights);
+    const float fm = weighted_sum(layer.forward(xm, true), loss_weights);
+    check(analytic_gx[i], (fp - fm) / (2 * h), "input grad " + std::to_string(i));
+  }
+
+  // Parameter gradients (recompute analytic grads after the probe forwards).
+  layer.forward(probe_x, true);
+  for (Param* p : layer.params()) p->zero_grad();
+  layer.backward(loss_weights);
+  for (Param* p : layer.params()) {
+    for (std::size_t i = 0; i < p->value.numel();
+         i += std::max<std::size_t>(1, p->value.numel() / 16)) {
+      const float saved = p->value[i];
+      p->value[i] = saved + h;
+      const float fp = weighted_sum(layer.forward(probe_x, true), loss_weights);
+      p->value[i] = saved - h;
+      const float fm = weighted_sum(layer.forward(probe_x, true), loss_weights);
+      p->value[i] = saved;
+      check(p->grad[i], (fp - fm) / (2 * h), p->name + "[" + std::to_string(i) + "]");
+    }
+  }
+  EXPECT_LE(static_cast<double>(violations),
+            max_violation_fraction * static_cast<double>(probes))
+      << violations << "/" << probes << " probes off";
+}
+
+TEST(GradCheck, Conv2dNoPadding) {
+  util::Rng rng(10);
+  Conv2d conv(2, 3, 3, 1, 0, true, rng);
+  check_layer_gradients(conv, random_tensor({2, 2, 5, 5}, rng), 100);
+}
+
+TEST(GradCheck, Conv2dPaddedStrided) {
+  util::Rng rng(11);
+  Conv2d conv(3, 2, 3, 2, 1, false, rng);
+  check_layer_gradients(conv, random_tensor({1, 3, 6, 6}, rng), 101);
+}
+
+TEST(GradCheck, Conv2dOneByOne) {
+  util::Rng rng(12);
+  Conv2d conv(4, 4, 1, 1, 0, true, rng);
+  check_layer_gradients(conv, random_tensor({2, 4, 3, 3}, rng), 102);
+}
+
+TEST(GradCheck, Linear) {
+  util::Rng rng(13);
+  Linear fc(6, 4, true, rng);
+  check_layer_gradients(fc, random_tensor({3, 6}, rng), 103);
+}
+
+TEST(GradCheck, ReLU) {
+  util::Rng rng(14);
+  ReLU relu;
+  // Offset inputs away from 0 so finite differences don't cross the kink.
+  Tensor x = random_tensor({2, 3, 4, 4}, rng);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.1f) x[i] = 0.2f;
+  }
+  check_layer_gradients(relu, x, 104);
+}
+
+TEST(GradCheck, MaxPool) {
+  util::Rng rng(15);
+  MaxPool2d pool(2);
+  // Spread values so the argmax is stable under the probe step.
+  Tensor x({1, 2, 4, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i % 7) + 0.3f * rng.normal();
+  check_layer_gradients(pool, x, 105);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  util::Rng rng(16);
+  GlobalAvgPool pool;
+  check_layer_gradients(pool, random_tensor({2, 3, 4, 4}, rng), 106);
+}
+
+TEST(GradCheck, BatchNorm) {
+  util::Rng rng(17);
+  BatchNorm2d bn(3);
+  check_layer_gradients(bn, random_tensor({4, 3, 3, 3}, rng), 107, 5e-2f);
+}
+
+TEST(GradCheck, SequentialConvReluLinear) {
+  util::Rng rng(18);
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(2, 3, 3, 1, 1, true, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>(3 * 4 * 4, 5, true, rng));
+  check_layer_gradients(net, random_tensor({2, 2, 4, 4}, rng), 108, 4e-2f, 0.1);
+}
+
+TEST(GradCheck, ResidualBlockWithProjection) {
+  util::Rng rng(19);
+  auto main_path = std::make_unique<Sequential>();
+  main_path->add(std::make_unique<Conv2d>(2, 4, 3, 2, 1, false, rng));
+  auto shortcut = std::make_unique<Sequential>();
+  shortcut->add(std::make_unique<Conv2d>(2, 4, 1, 2, 0, false, rng));
+  ResidualBlock block(std::move(main_path), std::move(shortcut));
+  check_layer_gradients(block, random_tensor({1, 2, 4, 4}, rng), 109, 4e-2f);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyAgainstFiniteDifference) {
+  util::Rng rng(20);
+  Tensor logits = random_tensor({3, 4}, rng);
+  const std::vector<int> labels = {1, 3, 0};
+  const auto result = softmax_cross_entropy(logits, labels);
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += h;
+    lm[i] -= h;
+    const float numeric = (softmax_cross_entropy(lp, labels).loss -
+                           softmax_cross_entropy(lm, labels).loss) /
+                          (2 * h);
+    EXPECT_NEAR(result.grad[i], numeric, 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace sealdl::nn

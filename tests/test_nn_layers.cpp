@@ -1,0 +1,230 @@
+// NN layer forward semantics against hand-computed values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/basic_layers.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/tensor.hpp"
+
+namespace sealdl::nn {
+namespace {
+
+TEST(Tensor, ShapeAndAccessors) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.numel(), 120u);
+  t.at4(1, 2, 3, 4) = 7.0f;
+  EXPECT_FLOAT_EQ(t[119], 7.0f);
+  EXPECT_EQ(t.shape_str(), "[2,3,4,5]");
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_FLOAT_EQ(r.at2(2, 3), 11.0f);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, Norms) {
+  Tensor t({1, 4}, {-1.0f, 2.0f, -3.0f, 0.5f});
+  EXPECT_FLOAT_EQ(t.l1_norm(), 6.5f);
+  EXPECT_FLOAT_EQ(t.max_abs(), 3.0f);
+}
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  util::Rng rng(1);
+  Conv2d conv(1, 1, 3, 1, 1, false, rng);
+  conv.weight().value.fill(0.0f);
+  conv.weight().value.at4(0, 0, 1, 1) = 1.0f;  // delta kernel
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i);
+  Tensor y = conv.forward(x, false);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, HandComputedSum) {
+  util::Rng rng(1);
+  Conv2d conv(1, 1, 3, 1, 0, false, rng);
+  conv.weight().value.fill(1.0f);  // box filter
+  Tensor x({1, 1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) x[i] = static_cast<float>(i + 1);  // 1..9
+  Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.shape(), (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 45.0f);
+}
+
+TEST(Conv2d, StrideAndPaddingShapes) {
+  util::Rng rng(1);
+  Conv2d conv(3, 8, 3, 2, 1, true, rng);
+  Tensor x({2, 3, 16, 16});
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 8, 8, 8}));
+}
+
+TEST(Conv2d, BiasIsAdded) {
+  util::Rng rng(1);
+  Conv2d conv(1, 2, 1, 1, 0, true, rng);
+  conv.weight().value.fill(0.0f);
+  conv.bias_param().value[0] = 1.5f;
+  conv.bias_param().value[1] = -2.0f;
+  Tensor x({1, 1, 2, 2});
+  Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 1, 1), -2.0f);
+}
+
+TEST(Conv2d, MultiChannelAccumulates) {
+  util::Rng rng(1);
+  Conv2d conv(2, 1, 1, 1, 0, false, rng);
+  conv.weight().value.at4(0, 0, 0, 0) = 2.0f;
+  conv.weight().value.at4(0, 1, 0, 0) = 3.0f;
+  Tensor x({1, 2, 1, 1});
+  x.at4(0, 0, 0, 0) = 5.0f;
+  x.at4(0, 1, 0, 0) = 7.0f;
+  Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 2.0f * 5.0f + 3.0f * 7.0f);
+}
+
+TEST(Linear, MatVecWithBias) {
+  util::Rng rng(1);
+  Linear fc(3, 2, true, rng);
+  fc.weight().value = Tensor({2, 3}, {1, 2, 3, 4, 5, 6});
+  fc.bias_param().value = Tensor({1, 2}, {0.5f, -0.5f});
+  Tensor x({1, 3}, {1, 1, 1});
+  Tensor y = fc.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 6.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 14.5f);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  Tensor x({1, 4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+  Tensor y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(MaxPool2d, PicksWindowMaxima) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 4}, {1, 5, 2, 0, 3, 4, 8, 7});
+  Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.shape(), (std::vector<int>{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 8.0f);
+}
+
+TEST(MaxPool2d, RejectsIndivisibleInput) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 3, 3});
+  EXPECT_THROW(pool.forward(x, false), std::invalid_argument);
+}
+
+TEST(GlobalAvgPool, AveragesChannels) {
+  GlobalAvgPool pool;
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 0, 0), 25.0f);
+}
+
+TEST(Flatten, RoundTrips) {
+  Flatten flat;
+  Tensor x({2, 3, 2, 2});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i);
+  Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 12}));
+  Tensor back = flat.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+  EXPECT_FLOAT_EQ(back[13], 13.0f);
+}
+
+TEST(BatchNorm2d, TrainModeNormalizesBatch) {
+  BatchNorm2d bn(1);
+  Tensor x({2, 1, 1, 2}, {1, 2, 3, 4});
+  Tensor y = bn.forward(x, true);
+  float mean = 0, var = 0;
+  for (std::size_t i = 0; i < 4; ++i) mean += y[i];
+  mean /= 4;
+  for (std::size_t i = 0; i < 4; ++i) var += (y[i] - mean) * (y[i] - mean);
+  var /= 4;
+  EXPECT_NEAR(mean, 0.0f, 1e-5f);
+  EXPECT_NEAR(var, 1.0f, 1e-3f);
+}
+
+TEST(BatchNorm2d, EvalModeUsesRunningStats) {
+  BatchNorm2d bn(1);
+  Tensor x({2, 1, 1, 2}, {1, 2, 3, 4});
+  for (int i = 0; i < 50; ++i) bn.forward(x, true);  // converge running stats
+  Tensor y = bn.forward(x, false);
+  float mean = 0;
+  for (std::size_t i = 0; i < 4; ++i) mean += y[i];
+  EXPECT_NEAR(mean / 4, 0.0f, 0.05f);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor p = softmax(logits);
+  for (int n = 0; n < 2; ++n) {
+    float sum = 0;
+    for (int c = 0; c < 3; ++c) sum += p.at2(n, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+  EXPECT_GT(p.at2(0, 2), p.at2(0, 0));
+}
+
+TEST(Loss, CrossEntropyOfUniformIsLogC) {
+  Tensor logits({1, 4});  // zeros -> uniform softmax
+  const auto result = softmax_cross_entropy(logits, {2});
+  EXPECT_NEAR(result.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  Tensor logits({2, 5}, {1, 0, 2, 0, 1, 3, 1, 0, 0, 2});
+  const auto result = softmax_cross_entropy(logits, {0, 4});
+  for (int n = 0; n < 2; ++n) {
+    float sum = 0;
+    for (int c = 0; c < 5; ++c) sum += result.grad.at2(n, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(Predict, ArgmaxAndAccuracy) {
+  Tensor logits({2, 3}, {0, 5, 1, 9, 0, 0});
+  const auto preds = predict(logits);
+  EXPECT_EQ(preds, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 2}), 0.5);
+}
+
+TEST(ResidualBlock, IdentityShortcutAddsInput) {
+  util::Rng rng(3);
+  auto main_path = std::make_unique<Sequential>();
+  auto conv = std::make_unique<Conv2d>(1, 1, 3, 1, 1, false, rng);
+  conv->weight().value.fill(0.0f);  // main path contributes nothing
+  main_path->add(std::move(conv));
+  ResidualBlock block(std::move(main_path), nullptr);
+  Tensor x({1, 1, 2, 2}, {1, -2, 3, -4});
+  Tensor y = block.forward(x, false);
+  // y = relu(0 + x)
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(Sequential, VisitsLeavesInForwardOrder) {
+  util::Rng rng(4);
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Linear>(8, 2, false, rng));
+  std::vector<std::string> names;
+  net.visit_leaves([&names](Layer& layer) { names.push_back(layer.name()); });
+  EXPECT_EQ(names, (std::vector<std::string>{"conv2d", "relu", "linear"}));
+}
+
+}  // namespace
+}  // namespace sealdl::nn

@@ -1,0 +1,184 @@
+// Optimizer, trainer, dataset, and serialization behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/basic_layers.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dataset.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optim.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace sealdl::nn {
+namespace {
+
+std::unique_ptr<Sequential> tiny_mlp(std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Linear>(3 * 8 * 8, 32, true, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Linear>(32, 10, true, rng));
+  return net;
+}
+
+DatasetConfig small_data() {
+  DatasetConfig config;
+  config.height = config.width = 8;
+  config.samples = 600;
+  return config;
+}
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  Param p("w", Tensor({1, 2}, {1.0f, 1.0f}));
+  p.grad = Tensor({1, 2}, {1.0f, -1.0f});
+  SgdOptimizer opt({&p}, {.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.9f);
+  EXPECT_FLOAT_EQ(p.value[1], 1.1f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p("w", Tensor({1, 1}, {0.0f}));
+  SgdOptimizer opt({&p}, {.lr = 1.0f, .momentum = 0.5f, .weight_decay = 0.0f});
+  p.grad[0] = 1.0f;
+  opt.step();  // v = -1, w = -1
+  p.grad[0] = 1.0f;
+  opt.step();  // v = -1.5, w = -2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Param p("w", Tensor({1, 1}, {10.0f}));
+  p.grad[0] = 0.0f;
+  SgdOptimizer opt({&p}, {.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.1f});
+  opt.step();
+  EXPECT_NEAR(p.value[0], 10.0f - 0.1f * 0.1f * 10.0f, 1e-6f);
+}
+
+TEST(Sgd, MaskFreezesElements) {
+  Param p("w", Tensor({1, 2}, {1.0f, 1.0f}));
+  p.grad = Tensor({1, 2}, {1.0f, 1.0f});
+  p.mask = Tensor({1, 2}, {0.0f, 1.0f});
+  SgdOptimizer opt({&p}, {.lr = 0.1f, .momentum = 0.9f, .weight_decay = 0.0f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f);  // frozen
+  EXPECT_LT(p.value[1], 1.0f);        // trained
+}
+
+TEST(Dataset, DeterministicAndBalanced) {
+  SyntheticDataset a(small_data()), b(small_data());
+  EXPECT_EQ(a.size(), 600);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    ++counts[static_cast<std::size_t>(a.label(i))];
+  }
+  for (int c : counts) EXPECT_EQ(c, 60);
+  const Tensor batch_a = a.batch({0, 1, 2});
+  const Tensor batch_b = b.batch({0, 1, 2});
+  for (std::size_t i = 0; i < batch_a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(batch_a[i], batch_b[i]);
+  }
+}
+
+TEST(Dataset, SplitsAreDisjointAndCover) {
+  SyntheticDataset data(small_data());
+  const auto victim = data.victim_train_indices(100);
+  const auto test = data.test_indices(100);
+  const auto adversary = data.adversary_indices();
+  EXPECT_EQ(victim.size() + test.size() + adversary.size(),
+            static_cast<std::size_t>(data.size()));
+  EXPECT_EQ(adversary.size(), 60u);  // 10% of corpus
+  // Contiguous disjoint ranges.
+  EXPECT_EQ(victim.back() + 1, test.front());
+  EXPECT_EQ(test.back() + 1, adversary.front());
+}
+
+TEST(Trainer, LossDecreasesOnLearnableData) {
+  SyntheticDataset data(small_data());
+  auto model = tiny_mlp(5);
+  TrainOptions options;
+  options.epochs = 4;
+  options.sgd.lr = 0.05f;
+  const auto history =
+      train(*model, data, data.victim_train_indices(100), {}, options);
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_LT(history.back().loss, history.front().loss);
+  EXPECT_GT(history.back().accuracy, 0.5);
+}
+
+TEST(Trainer, EvaluateMatchesTrainedModelQuality) {
+  SyntheticDataset data(small_data());
+  auto model = tiny_mlp(6);
+  TrainOptions options;
+  options.epochs = 5;
+  options.sgd.lr = 0.05f;
+  train(*model, data, data.victim_train_indices(100), {}, options);
+  const double test_acc = evaluate(*model, data, data.test_indices(100));
+  EXPECT_GT(test_acc, 0.5);  // generalizes beyond chance (0.1)
+}
+
+TEST(Trainer, TensorCorpusPathMatchesDatasetPath) {
+  SyntheticDataset data(small_data());
+  const auto idx = data.victim_train_indices(500);  // just 40 samples
+  const Tensor images = data.batch(idx);
+  const auto labels = data.batch_labels(idx);
+
+  auto model = tiny_mlp(7);
+  TrainOptions options;
+  options.epochs = 3;
+  options.sgd.lr = 0.05f;
+  const auto history = train_tensors(*model, images, labels, options);
+  EXPECT_LT(history.back().loss, history.front().loss);
+  EXPECT_GT(evaluate_tensors(*model, images, labels), 0.55);
+}
+
+TEST(Trainer, SliceBatchExtractsRows) {
+  Tensor t({3, 1, 1, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor s = slice_batch(t, 1, 3);
+  EXPECT_EQ(s.shape(), (std::vector<int>{2, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(s[0], 10.0f);
+  EXPECT_FLOAT_EQ(s[3], 21.0f);
+}
+
+TEST(Serialize, RoundTripRestoresParams) {
+  auto a = tiny_mlp(8);
+  auto b = tiny_mlp(9);  // different init
+  const auto bytes = serialize_params(*a);
+  EXPECT_EQ(bytes.size(), parameter_count(*a) * sizeof(float));
+  deserialize_params(*b, bytes);
+  const auto pa = a->params();
+  const auto pb = b->params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::size_t j = 0; j < pa[i]->value.numel(); ++j) {
+      EXPECT_FLOAT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    }
+  }
+}
+
+TEST(Serialize, SizeMismatchThrows) {
+  auto model = tiny_mlp(10);
+  auto bytes = serialize_params(*model);
+  bytes.pop_back();
+  EXPECT_THROW(deserialize_params(*model, bytes), std::invalid_argument);
+}
+
+TEST(Serialize, CopyParamsTransfersBehaviour) {
+  SyntheticDataset data(small_data());
+  auto a = tiny_mlp(11);
+  TrainOptions options;
+  options.epochs = 3;
+  options.sgd.lr = 0.05f;
+  train(*a, data, data.victim_train_indices(100), {}, options);
+  auto b = tiny_mlp(12);
+  copy_params(*a, *b);
+  const auto idx = data.test_indices(100);
+  EXPECT_DOUBLE_EQ(evaluate(*a, data, idx), evaluate(*b, data, idx));
+}
+
+}  // namespace
+}  // namespace sealdl::nn

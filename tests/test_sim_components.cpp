@@ -1,0 +1,236 @@
+// Simulator building blocks: caches, secure map, queues, throughput pipes.
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+#include "sim/pipes.hpp"
+#include "sim/secure_map.hpp"
+
+namespace sealdl::sim {
+namespace {
+
+// ----------------------------------------------------------------- Cache ---
+
+TEST(Cache, MissThenHit) {
+  SetAssocCache cache(4096, 4, 128);
+  EXPECT_FALSE(cache.access(0x1000, false).hit);
+  cache.insert(0x1000, false);
+  EXPECT_TRUE(cache.access(0x1000, false).hit);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // 2 sets * 2 ways * 128B = 512B cache; same-set lines are 256B apart.
+  SetAssocCache cache(512, 2, 128);
+  cache.insert(0x0000, false);
+  cache.insert(0x0100, false);   // same set (set stride = 2 lines)
+  cache.access(0x0000, false);   // touch A: B becomes LRU
+  cache.insert(0x0200, false);   // evicts B
+  EXPECT_TRUE(cache.contains(0x0000));
+  EXPECT_FALSE(cache.contains(0x0100));
+  EXPECT_TRUE(cache.contains(0x0200));
+}
+
+TEST(Cache, DirtyEvictionReportsWritebackAddress) {
+  SetAssocCache cache(512, 2, 128);
+  cache.insert(0x0000, true);
+  cache.insert(0x0100, false);
+  const auto result = cache.insert(0x0200, false);  // evicts dirty 0x0000
+  ASSERT_TRUE(result.writeback.has_value());
+  EXPECT_EQ(*result.writeback, 0x0000u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  SetAssocCache cache(512, 2, 128);
+  cache.insert(0x0000, false);
+  cache.insert(0x0100, false);
+  EXPECT_FALSE(cache.insert(0x0200, false).writeback.has_value());
+}
+
+TEST(Cache, AccessMarksDirty) {
+  SetAssocCache cache(512, 2, 128);
+  cache.insert(0x0000, false);
+  cache.access(0x0000, /*mark_dirty=*/true);
+  cache.insert(0x0100, false);
+  const auto result = cache.insert(0x0200, false);
+  ASSERT_TRUE(result.writeback.has_value());
+  EXPECT_EQ(*result.writeback, 0x0000u);
+}
+
+TEST(Cache, InvalidateReturnsDirtyAddress) {
+  SetAssocCache cache(4096, 4, 128);
+  cache.insert(0x1000, true);
+  const auto dirty = cache.invalidate(0x1000);
+  ASSERT_TRUE(dirty.has_value());
+  EXPECT_EQ(*dirty, 0x1000u);
+  EXPECT_FALSE(cache.contains(0x1000));
+  EXPECT_FALSE(cache.invalidate(0x1000).has_value());
+}
+
+TEST(Cache, FlushDirtyReturnsAllDirtyLinesOnce) {
+  SetAssocCache cache(4096, 4, 128);
+  cache.insert(0x1000, true);
+  cache.insert(0x2000, true);
+  cache.insert(0x3000, false);
+  auto dirty = cache.flush_dirty();
+  EXPECT_EQ(dirty.size(), 2u);
+  EXPECT_TRUE(cache.flush_dirty().empty());
+}
+
+TEST(Cache, HitRateAccounting) {
+  SetAssocCache cache(4096, 4, 128);
+  cache.access(0x0, false);  // miss
+  cache.insert(0x0, false);
+  cache.access(0x0, false);  // hit
+  cache.access(0x0, false);  // hit
+  EXPECT_EQ(cache.hit_rate().hits, 2u);
+  EXPECT_EQ(cache.hit_rate().total, 3u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache(100, 4, 128), std::invalid_argument);
+}
+
+class CacheGeometry : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CacheGeometry, FillsToCapacityWithoutEviction) {
+  const auto [assoc, lines] = GetParam();
+  SetAssocCache cache(static_cast<std::size_t>(lines) * 128, assoc, 128);
+  // Insert exactly `lines` distinct lines walking sets uniformly.
+  for (int i = 0; i < lines; ++i) {
+    const auto result = cache.insert(static_cast<Addr>(i) * 128, true);
+    EXPECT_FALSE(result.writeback.has_value()) << "line " << i;
+  }
+  for (int i = 0; i < lines; ++i) {
+    EXPECT_TRUE(cache.contains(static_cast<Addr>(i) * 128));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometry,
+                         ::testing::Values(std::make_tuple(1, 8),
+                                           std::make_tuple(2, 16),
+                                           std::make_tuple(4, 32),
+                                           std::make_tuple(8, 64)));
+
+// ------------------------------------------------------------- SecureMap ---
+
+TEST(SecureMap, BasicMembership) {
+  SecureMap map;
+  map.add_range(0x1000, 0x100);
+  EXPECT_TRUE(map.is_secure(0x1000));
+  EXPECT_TRUE(map.is_secure(0x10FF));
+  EXPECT_FALSE(map.is_secure(0x1100));
+  EXPECT_FALSE(map.is_secure(0x0FFF));
+}
+
+TEST(SecureMap, OverlappingRangesMerge) {
+  SecureMap map;
+  map.add_range(0x1000, 0x100);
+  map.add_range(0x1080, 0x100);
+  EXPECT_EQ(map.range_count(), 1u);
+  EXPECT_EQ(map.secure_bytes(), 0x180u);
+}
+
+TEST(SecureMap, AdjacentRangesMerge) {
+  SecureMap map;
+  map.add_range(0x1000, 0x100);
+  map.add_range(0x1100, 0x100);
+  EXPECT_EQ(map.range_count(), 1u);
+  EXPECT_EQ(map.secure_bytes(), 0x200u);
+}
+
+TEST(SecureMap, RemoveSplitsRange) {
+  SecureMap map;
+  map.add_range(0x1000, 0x300);
+  map.remove_range(0x1100, 0x100);
+  EXPECT_EQ(map.range_count(), 2u);
+  EXPECT_TRUE(map.is_secure(0x1000));
+  EXPECT_FALSE(map.is_secure(0x1100));
+  EXPECT_FALSE(map.is_secure(0x11FF));
+  EXPECT_TRUE(map.is_secure(0x1200));
+  EXPECT_EQ(map.secure_bytes(), 0x200u);
+}
+
+TEST(SecureMap, LineIntersectionRule) {
+  SecureMap map;
+  map.add_range(0x10A0, 0x10);  // 16 secure bytes in the middle of a line
+  EXPECT_TRUE(map.line_is_secure(0x1080, 128));
+  EXPECT_FALSE(map.line_is_secure(0x1000, 128));
+  EXPECT_FALSE(map.line_is_secure(0x1100, 128));
+}
+
+TEST(SecureMap, LineRuleAtRangeBoundaries) {
+  SecureMap map;
+  map.add_range(0x1080, 0x80);  // exactly one line
+  EXPECT_TRUE(map.line_is_secure(0x1080, 128));
+  EXPECT_FALSE(map.line_is_secure(0x1000, 128));
+  EXPECT_FALSE(map.line_is_secure(0x1100, 128));
+}
+
+TEST(SecureMap, ManyDisjointRanges) {
+  SecureMap map;
+  for (int i = 0; i < 100; ++i) map.add_range(static_cast<Addr>(i) * 0x1000, 0x80);
+  EXPECT_EQ(map.range_count(), 100u);
+  EXPECT_EQ(map.secure_bytes(), 100u * 0x80u);
+  EXPECT_TRUE(map.is_secure(0x5000));
+  EXPECT_FALSE(map.is_secure(0x5080));
+}
+
+// ----------------------------------------------------------------- Pipes ---
+
+TEST(DelayQueue, DelaysByLatency) {
+  DelayQueue<int> q(10);
+  q.push(5, 42);
+  EXPECT_FALSE(q.pop_ready(14).has_value());
+  const auto v = q.pop_ready(15);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(DelayQueue, FifoOrderPreserved) {
+  DelayQueue<int> q(1);
+  q.push(0, 1);
+  q.push(0, 2);
+  EXPECT_EQ(*q.pop_ready(1), 1);
+  EXPECT_EQ(*q.pop_ready(1), 2);
+  EXPECT_FALSE(q.pop_ready(100).has_value());
+}
+
+TEST(ThroughputPipe, SingleTransferLatencyPlusOccupancy) {
+  ThroughputPipe pipe(16.0, 20);  // 16 B/cycle, 20-cycle latency
+  // 128 bytes: 8 cycles occupancy + 20 latency, starting at cycle 0.
+  EXPECT_EQ(pipe.schedule(0, 128), 28u);
+}
+
+TEST(ThroughputPipe, BackToBackTransfersSerialize) {
+  ThroughputPipe pipe(16.0, 20);
+  EXPECT_EQ(pipe.schedule(0, 128), 28u);
+  // Second transfer starts when the pipe frees (cycle 8), not at its own
+  // earliest time 0.
+  EXPECT_EQ(pipe.schedule(0, 128), 36u);
+}
+
+TEST(ThroughputPipe, IdleGapResetsStart) {
+  ThroughputPipe pipe(16.0, 0);
+  EXPECT_EQ(pipe.schedule(0, 128), 8u);
+  EXPECT_EQ(pipe.schedule(100, 128), 108u);  // starts at 100, not 8
+}
+
+TEST(ThroughputPipe, FractionalBandwidthExact) {
+  ThroughputPipe pipe(42.24, 0);
+  // 10 lines of 128B = 1280B at 42.24 B/cycle = 30.30.. cycles.
+  Cycle done = 0;
+  for (int i = 0; i < 10; ++i) done = pipe.schedule(0, 128);
+  EXPECT_EQ(done, 31u);  // ceil(30.30)
+  EXPECT_NEAR(pipe.busy_cycles(), 1280.0 / 42.24, 1e-9);
+  EXPECT_EQ(pipe.bytes_transferred(), 1280u);
+}
+
+TEST(ThroughputPipe, UtilizationClamped) {
+  ThroughputPipe pipe(1.0, 0);
+  pipe.schedule(0, 100);
+  EXPECT_DOUBLE_EQ(pipe.utilization(200), 0.5);
+  EXPECT_DOUBLE_EQ(pipe.utilization(50), 1.0);
+  EXPECT_DOUBLE_EQ(pipe.utilization(0), 0.0);
+}
+
+}  // namespace
+}  // namespace sealdl::sim

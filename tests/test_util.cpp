@@ -1,0 +1,166 @@
+// util: deterministic RNG, statistics, table rendering, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sealdl::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  const std::uint64_t c0 = child.next();
+  // Re-derive: fork consumed exactly one parent draw.
+  Rng parent2(7);
+  Rng child2(parent2.next());
+  EXPECT_EQ(c0, child2.next());
+}
+
+class RngBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBounds, NextBelowStaysInRange) {
+  Rng rng(GetParam());
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST_P(RngBounds, DoubleInUnitInterval) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBounds, ::testing::Values(1, 99, 12345));
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(8);
+  std::array<int, 10> buckets{};
+  for (int i = 0; i < 20000; ++i) ++buckets[rng.next_below(10)];
+  for (int count : buckets) EXPECT_NEAR(count, 2000, 250);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(Stats, GeomeanAndMean) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, HitRate) {
+  HitRate hr;
+  hr.record(true);
+  hr.record(false);
+  hr.record(true);
+  hr.record(true);
+  EXPECT_DOUBLE_EQ(hr.rate(), 0.75);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(3.9);
+  h.add(4.0);
+  h.add(11.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22.5  |"), std::string::npos);
+}
+
+TEST(Table, FormattersProduceFixedPrecision) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.4567, 1), "45.7%");
+}
+
+TEST(Cli, ParsesAllFlagForms) {
+  // Note: a bare `--flag` followed by a non-flag token consumes that token as
+  // its value, so the boolean form must be last or use `=`.
+  const char* argv[] = {"prog", "pos1", "--alpha", "3",    "--beta=hello",
+                        "--gamma", "2.5", "--flag"};
+  CliFlags flags(8, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("alpha", 0), 3);
+  EXPECT_EQ(flags.get("beta", ""), "hello");
+  EXPECT_TRUE(flags.get_bool("flag", false));
+  EXPECT_DOUBLE_EQ(flags.get_double("gamma", 0.0), 2.5);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+  EXPECT_TRUE(flags.unused().empty());
+}
+
+TEST(Cli, ReportsUnusedFlags) {
+  const char* argv[] = {"prog", "--typo", "1"};
+  CliFlags flags(3, const_cast<char**>(argv));
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, MissingFlagFallsBack) {
+  const char* argv[] = {"prog"};
+  CliFlags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("n", 17), 17);
+  EXPECT_FALSE(flags.has("n"));
+}
+
+}  // namespace
+}  // namespace sealdl::util

@@ -1,0 +1,192 @@
+// sealdl-sim: command-line front end to the accelerator simulator.
+//
+// Runs a single layer, a whole network, or a GEMM under any encryption
+// configuration and prints the detailed statistics the bench binaries
+// aggregate away. Intended for interactive exploration:
+//
+//   sealdl-sim --workload vgg16 --scheme seal-d --ratio 0.5
+//   sealdl-sim --workload conv --in-ch 256 --out-ch 256 --hw 56 --scheme counter
+//   sealdl-sim --workload gemm --dim 1024 --scheme direct --engine-gbps 16
+//   sealdl-sim --workload pool --in-ch 64 --hw 224 --scheme seal-c --split-counters
+//
+// Schemes: baseline | direct | counter | seal-d | seal-c.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "models/layer_spec.hpp"
+#include "sim/gpu_simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/gemm_trace.hpp"
+#include "workload/network_runner.hpp"
+
+using namespace sealdl;
+
+namespace {
+
+struct SchemeChoice {
+  sim::EncryptionScheme scheme;
+  bool selective;
+};
+
+SchemeChoice parse_scheme(const std::string& name) {
+  if (name == "baseline") return {sim::EncryptionScheme::kNone, false};
+  if (name == "direct") return {sim::EncryptionScheme::kDirect, false};
+  if (name == "counter") return {sim::EncryptionScheme::kCounter, false};
+  if (name == "seal-d") return {sim::EncryptionScheme::kDirect, true};
+  if (name == "seal-c") return {sim::EncryptionScheme::kCounter, true};
+  throw std::invalid_argument("unknown --scheme " + name +
+                              " (baseline|direct|counter|seal-d|seal-c)");
+}
+
+void print_stats(const sim::SimStats& stats, double scale,
+                 const sim::GpuConfig& config) {
+  util::Table table({"metric", "value"});
+  table.add_row({"cycles (simulated slice)", std::to_string(stats.cycles)});
+  table.add_row({"cycles (full workload)",
+                 util::Table::fmt(static_cast<double>(stats.cycles) * scale, 0)});
+  table.add_row({"latency @700MHz",
+                 util::Table::fmt(static_cast<double>(stats.cycles) * scale / 700e3, 3) + " ms"});
+  table.add_row({"IPC (thread)", util::Table::fmt(stats.ipc(), 1)});
+  table.add_row({"IPC / peak", util::Table::pct(stats.ipc() / config.peak_ipc())});
+  table.add_row({"L2 hit rate", util::Table::pct(stats.l2_hit_rate())});
+  table.add_row({"DRAM read", util::Table::fmt(static_cast<double>(stats.dram_read_bytes) / 1e6, 2) + " MB"});
+  table.add_row({"DRAM write", util::Table::fmt(static_cast<double>(stats.dram_write_bytes) / 1e6, 2) + " MB"});
+  table.add_row({"DRAM utilization",
+                 util::Table::pct(stats.dram_busy_cycles /
+                                  (static_cast<double>(config.num_channels) *
+                                   static_cast<double>(stats.cycles)))});
+  if (config.scheme != sim::EncryptionScheme::kNone) {
+    table.add_row({"encrypted bytes",
+                   util::Table::fmt(static_cast<double>(stats.encrypted_bytes) / 1e6, 2) + " MB"});
+    table.add_row({"bypassed bytes",
+                   util::Table::fmt(static_cast<double>(stats.bypassed_bytes) / 1e6, 2) + " MB"});
+    table.add_row({"AES utilization",
+                   util::Table::pct(stats.aes_busy_cycles /
+                                    (static_cast<double>(config.num_channels) *
+                                     static_cast<double>(stats.cycles)))});
+  }
+  if (config.scheme == sim::EncryptionScheme::kCounter) {
+    table.add_row({"counter-cache hit rate", util::Table::pct(stats.counter_hit_rate())});
+    table.add_row({"counter traffic",
+                   util::Table::fmt(static_cast<double>(stats.counter_traffic_bytes) / 1e6, 2) + " MB"});
+  }
+  table.print();
+}
+
+int run(int argc, char** argv) {
+  util::CliFlags flags(argc, argv);
+  const std::string workload = flags.get("workload", "vgg16");
+  const auto choice = parse_scheme(flags.get("scheme", "baseline"));
+  const double ratio = flags.get_double("ratio", 0.5);
+  const auto tiles = static_cast<std::uint64_t>(flags.get_int("tiles", 480));
+
+  sim::GpuConfig config = sim::GpuConfig::gtx480();
+  config.scheme = choice.scheme;
+  config.selective = choice.selective;
+  config.counter_cache_kb = static_cast<int>(flags.get_int("counter-cache-kb", 96));
+  config.split_counters = flags.get_bool("split-counters", false);
+  config.engines_per_controller = static_cast<int>(flags.get_int("engines", 1));
+  config.engine.throughput_gbps =
+      flags.get_double("engine-gbps", config.engine.throughput_gbps);
+  config.dram_total_gbps = flags.get_double("dram-gbps", config.dram_total_gbps);
+
+  workload::RunOptions options;
+  options.max_tiles_per_layer = tiles;
+  options.selective = choice.selective;
+  options.plan.encryption_ratio = ratio;
+  const bool single_layer =
+      workload == "conv" || workload == "pool" || workload == "fc";
+  if (single_layer) {
+    // A lone layer is a network *body* layer, not a boundary layer; the
+    // boundary policy would otherwise fully encrypt it regardless of ratio.
+    options.plan.full_head_convs = 0;
+    options.plan.full_tail_convs = 0;
+    options.plan.full_tail_fcs = 0;
+  }
+
+  if (workload == "gemm") {
+    workload::GemmSpec spec;
+    spec.m = spec.n = spec.k = static_cast<int>(flags.get_int("dim", 1024));
+    spec.a_base = 0x1000'0000;
+    spec.b_base = 0x2000'0000;
+    spec.c_base = 0x3000'0000;
+    auto programs = workload::make_gemm_programs(
+        spec, config.num_sms * config.warps_per_sm, tiles);
+    sim::GpuSimulator simulator(config);
+    simulator.load_work(std::move(programs));
+    simulator.run();
+    std::printf("GEMM %dx%dx%d, scheme %s%s\n", spec.m, spec.n, spec.k,
+                sim::scheme_name(config.scheme),
+                config.selective ? " (SEAL selective)" : "");
+    const double scale = static_cast<double>(spec.total_tiles()) /
+                         static_cast<double>(std::min<std::uint64_t>(
+                             tiles ? tiles : spec.total_tiles(), spec.total_tiles()));
+    print_stats(simulator.stats(), scale, config);
+  } else if (workload == "conv" || workload == "pool" || workload == "fc") {
+    models::LayerSpec spec;
+    spec.name = workload;
+    if (workload == "fc") {
+      spec.type = models::LayerSpec::Type::kFc;
+      spec.in_features = static_cast<int>(flags.get_int("in-features", 4096));
+      spec.out_features = static_cast<int>(flags.get_int("out-features", 4096));
+    } else {
+      spec.type = workload == "conv" ? models::LayerSpec::Type::kConv
+                                     : models::LayerSpec::Type::kPool;
+      spec.in_channels = static_cast<int>(flags.get_int("in-ch", 64));
+      spec.out_channels = static_cast<int>(
+          flags.get_int("out-ch", workload == "pool" ? spec.in_channels : 64));
+      spec.in_h = spec.in_w = static_cast<int>(flags.get_int("hw", 56));
+      if (workload == "pool") {
+        spec.kernel = spec.stride = 2;
+        spec.padding = 0;
+        spec.out_channels = spec.in_channels;
+      } else {
+        spec.kernel = static_cast<int>(flags.get_int("kernel", 3));
+        spec.stride = static_cast<int>(flags.get_int("stride", 1));
+        spec.padding = spec.kernel / 2;
+      }
+    }
+    const auto result = workload::run_single_layer(spec, config, options);
+    std::printf("%s layer, scheme %s%s\n", workload.c_str(),
+                sim::scheme_name(config.scheme),
+                config.selective ? " (SEAL selective)" : "");
+    print_stats(result.stats, result.scale, config);
+  } else {
+    const int input = static_cast<int>(flags.get_int("input", 224));
+    const auto specs = workload == "vgg16"      ? models::vgg16_specs(input)
+                       : workload == "resnet18" ? models::resnet18_specs(input)
+                       : workload == "resnet34"
+                           ? models::resnet34_specs(input)
+                           : throw std::invalid_argument("unknown --workload " + workload);
+    const auto result = workload::run_network(specs, config, options);
+    std::printf("%s (%d x %d input), scheme %s%s\n", workload.c_str(), input, input,
+                sim::scheme_name(config.scheme),
+                config.selective ? " (SEAL selective)" : "");
+    util::Table per_layer({"layer", "IPC", "full cycles"});
+    for (const auto& layer : result.layers) {
+      per_layer.add_row({layer.name, util::Table::fmt(layer.ipc(), 1),
+                         util::Table::fmt(layer.full_cycles(), 0)});
+    }
+    per_layer.print();
+    std::printf("\noverall IPC %.1f, latency %.2f ms @700MHz\n",
+                result.overall_ipc(), result.total_cycles() / 700e3);
+  }
+
+  for (const auto& unused : flags.unused()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", unused.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
