@@ -6,11 +6,14 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/encryption_plan.hpp"
 #include "sim/gpu_config.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -68,7 +71,8 @@ inline core::PlanOptions body_layer_plan(double ratio = 0.5) {
 /// marking rather than the fully-encrypted network-output rule.
 inline workload::LayerResult run_body_layer(const models::LayerSpec& spec,
                                             const SchemeConfig& scheme,
-                                            std::uint64_t tiles, double ratio) {
+                                            std::uint64_t tiles, double ratio,
+                                            telemetry::RunTelemetry* collect = nullptr) {
   models::LayerSpec consumer;
   consumer.type = models::LayerSpec::Type::kConv;
   consumer.name = "consumer";
@@ -82,8 +86,59 @@ inline workload::LayerResult run_body_layer(const models::LayerSpec& spec,
   options.selective = scheme.selective;
   options.plan = body_layer_plan(ratio);
   options.layer_filter = {0};
+  options.telemetry = collect;
   return workload::run_network({spec, consumer}, configure(scheme), options)
       .layers.front();
+}
+
+/// Shared telemetry sinks for the fig*/ablation benches: every bench that
+/// calls these accepts `--json PATH`, `--trace PATH`, and
+/// `--sample-interval N`, dumping the raw per-layer/time-series data its
+/// table aggregates away. Returns null when neither sink was requested.
+inline std::unique_ptr<telemetry::RunTelemetry> telemetry_from_flags(
+    util::CliFlags& flags) {
+  const std::string json = flags.get("json", "");
+  const std::string trace = flags.get("trace", "");
+  const auto interval =
+      static_cast<sim::Cycle>(flags.get_int("sample-interval", 10000));
+  if (json.empty() && trace.empty()) return nullptr;
+  telemetry::TelemetryOptions options;
+  options.sample_interval = interval;
+  return std::make_unique<telemetry::RunTelemetry>(options);
+}
+
+/// Writes the sinks parsed by telemetry_from_flags(); no-op when `collect`
+/// is null.
+inline void export_telemetry(util::CliFlags& flags, const std::string& bench,
+                             const sim::GpuConfig& config,
+                             const telemetry::RunTelemetry* collect) {
+  if (!collect) return;
+  telemetry::RunInfo info;
+  info.tool = bench;
+  info.workload = bench;
+  info.scheme = "multi";  // bench runs sweep several schemes into one report
+  const std::string json = flags.get("json", "");
+  const std::string trace = flags.get("trace", "");
+  if (!json.empty()) {
+    telemetry::write_text_file(json,
+                               telemetry::run_report_json(info, config, *collect));
+    std::printf("\nwrote JSON run report to %s\n", json.c_str());
+  }
+  if (!trace.empty()) {
+    telemetry::write_text_file(
+        trace, telemetry::chrome_trace_json(info, config, *collect));
+    std::printf("wrote Perfetto trace to %s\n", trace.c_str());
+  }
+}
+
+/// Prefixes the layer records appended since `first` with "tag/", so one
+/// report can hold several schemes'/networks' runs side by side.
+inline void tag_new_layers(telemetry::RunTelemetry* collect, std::size_t first,
+                           const std::string& tag) {
+  if (!collect) return;
+  for (std::size_t i = first; i < collect->layers().size(); ++i) {
+    collect->layers()[i].name = tag + "/" + collect->layers()[i].name;
+  }
 }
 
 /// Prints the standard bench banner.

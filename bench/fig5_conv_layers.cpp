@@ -22,12 +22,16 @@ int main_impl(int argc, char** argv) {
   const auto layers = models::fig5_conv_layers();
   util::Table table({"scheme", "CONV-1", "CONV-2", "CONV-3", "CONV-4", "mean"});
 
+  auto collect = bench::telemetry_from_flags(flags);
   std::vector<double> baseline(layers.size(), 0.0);
   for (const auto& scheme : bench::five_schemes()) {
     std::vector<std::string> row{scheme.name};
     std::vector<double> normalized;
     for (std::size_t i = 0; i < layers.size(); ++i) {
-      const auto result = bench::run_body_layer(layers[i], scheme, tiles, ratio);
+      const std::size_t first = collect ? collect->layers().size() : 0;
+      const auto result =
+          bench::run_body_layer(layers[i], scheme, tiles, ratio, collect.get());
+      bench::tag_new_layers(collect.get(), first, scheme.name);
       if (scheme.scheme == sim::EncryptionScheme::kNone) baseline[i] = result.ipc();
       const double norm = result.ipc() / baseline[i];
       normalized.push_back(norm);
@@ -38,6 +42,8 @@ int main_impl(int argc, char** argv) {
   }
   table.print();
 
+  bench::export_telemetry(flags, "fig5_conv_layers", sim::GpuConfig::gtx480(),
+                          collect.get());
   bench::check_flags(flags);
   return 0;
 }

@@ -30,6 +30,7 @@ int main_impl(int argc, char** argv) {
   std::vector<double> baseline(nets.size(), 0.0);
   std::vector<std::vector<double>> normalized(bench::five_schemes().size());
 
+  auto collect = bench::telemetry_from_flags(flags);
   const auto schemes = bench::five_schemes();
   for (std::size_t s = 0; s < schemes.size(); ++s) {
     std::vector<std::string> row{schemes[s].name};
@@ -39,8 +40,12 @@ int main_impl(int argc, char** argv) {
       options.selective = schemes[s].selective;
       options.plan = bench::default_plan();
       options.plan.encryption_ratio = ratio;
+      options.telemetry = collect.get();
+      const std::size_t first = collect ? collect->layers().size() : 0;
       const auto result = workload::run_network(
           nets[n].second, bench::configure(schemes[s]), options);
+      bench::tag_new_layers(collect.get(), first,
+                            schemes[s].name + "/" + nets[n].first);
       if (schemes[s].scheme == sim::EncryptionScheme::kNone) {
         baseline[n] = result.overall_ipc();
       }
@@ -60,6 +65,8 @@ int main_impl(int argc, char** argv) {
   std::printf("\nSEAL-D / Direct  = %.2fx (paper: 1.40x)\n", seal_d / direct);
   std::printf("SEAL-C / Counter = %.2fx (paper: 1.34x)\n", seal_c / counter);
 
+  bench::export_telemetry(flags, "fig7_overall_ipc", sim::GpuConfig::gtx480(),
+                          collect.get());
   bench::check_flags(flags);
   return 0;
 }

@@ -90,11 +90,42 @@ Cycle GpuSimulator::next_event_cycle() const {
   return next;
 }
 
+void GpuSimulator::take_sample(Cycle now) {
+  const Cycle elapsed = now - sample_base_.cycle;
+  if (elapsed == 0) return;
+  std::uint64_t instructions = 0;
+  for (const auto& sm : sms_) instructions += sm->warp_instructions();
+  instructions *= static_cast<std::uint64_t>(config_.warp_size);
+  double dram_busy = 0.0, aes_busy = 0.0;
+  std::uint64_t dram_bytes = 0;
+  for (const auto& mc : controllers_) {
+    dram_busy += mc->dram_busy_cycles();
+    aes_busy += mc->aes_busy_cycles();
+    dram_bytes += mc->read_bytes() + mc->write_bytes();
+  }
+
+  telemetry::TimeSample sample;
+  sample.cycle = now;
+  const double cycles = static_cast<double>(elapsed);
+  sample.ipc =
+      static_cast<double>(instructions - sample_base_.thread_instructions) / cycles;
+  sample.dram_util = (dram_busy - sample_base_.dram_busy) /
+                     (cycles * static_cast<double>(config_.num_channels));
+  sample.aes_util = (aes_busy - sample_base_.aes_busy) /
+                    (cycles * static_cast<double>(config_.num_channels) *
+                     static_cast<double>(config_.engines_per_controller));
+  sample.dram_bytes = dram_bytes - sample_base_.dram_bytes;
+  sampler_->record(sample);
+  sample_base_ = {now, instructions, dram_busy, aes_busy, dram_bytes};
+}
+
 void GpuSimulator::run(Cycle max_cycles) {
   for (;;) {
     deliver_ready(now_);
     int issued = 0;
     for (auto& sm : sms_) issued += sm->tick(now_);
+
+    if (sampler_ && sampler_->due(now_)) take_sample(now_);
 
     const bool warps_done =
         std::all_of(sms_.begin(), sms_.end(),
@@ -115,6 +146,7 @@ void GpuSimulator::run(Cycle max_cycles) {
   for (std::size_t c = 0; c < l2_slices_.size(); ++c) l2_slices_[c]->flush(now_);
   for (auto& mc : controllers_) mc->flush(now_);
   finish_cycle_ = now_;
+  if (sampler_) take_sample(finish_cycle_);  // close the series at run end
 }
 
 SimStats GpuSimulator::stats() const {

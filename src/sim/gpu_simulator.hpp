@@ -18,6 +18,7 @@
 #include "sim/secure_map.hpp"
 #include "sim/sim_stats.hpp"
 #include "sim/sm_core.hpp"
+#include "telemetry/sampler.hpp"
 
 namespace sealdl::sim {
 
@@ -42,7 +43,28 @@ class GpuSimulator {
   /// Attaches a bus probe to every memory controller (snooper vantage).
   void set_probe(BusProbe* probe);
 
+  /// Attaches an interval sampler (telemetry time series). May be null (the
+  /// default): the run loop then pays exactly one branch per cycle. The
+  /// sampler must outlive run().
+  void set_sampler(telemetry::IntervalSampler* sampler) { sampler_ = sampler; }
+
   [[nodiscard]] const GpuConfig& config() const { return config_; }
+
+  // Component access for telemetry collection (pull model: the exporters in
+  // src/telemetry read these after run(); the hot loop stays untouched).
+  [[nodiscard]] int num_sms() const { return static_cast<int>(sms_.size()); }
+  [[nodiscard]] const SmCore& sm(int i) const {
+    return *sms_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int num_channels() const {
+    return static_cast<int>(controllers_.size());
+  }
+  [[nodiscard]] const MemoryController& controller(int c) const {
+    return *controllers_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const L2Slice& l2_slice(int c) const {
+    return *l2_slices_[static_cast<std::size_t>(c)];
+  }
 
  private:
   struct FillEvent {
@@ -60,6 +82,7 @@ class GpuSimulator {
   void route_request(Cycle now, const MemRequest& request);
   void deliver_ready(Cycle now);
   [[nodiscard]] Cycle next_event_cycle() const;
+  void take_sample(Cycle now);
 
   GpuConfig config_;
   std::vector<std::unique_ptr<SmCore>> sms_;
@@ -71,6 +94,16 @@ class GpuSimulator {
       fills_;
   Cycle now_ = 0;
   Cycle finish_cycle_ = 0;
+
+  telemetry::IntervalSampler* sampler_ = nullptr;
+  /// Component totals at the previous sample, for interval deltas.
+  struct SampleBase {
+    Cycle cycle = 0;
+    std::uint64_t thread_instructions = 0;
+    double dram_busy = 0.0;
+    double aes_busy = 0.0;
+    std::uint64_t dram_bytes = 0;
+  } sample_base_;
 };
 
 }  // namespace sealdl::sim

@@ -126,7 +126,7 @@ void MemoryController::accumulate(SimStats& stats) const {
   stats.dram_write_bytes += write_bytes_;
   stats.encrypted_bytes += encrypted_bytes_;
   stats.bypassed_bytes += bypassed_bytes_;
-  stats.aes_busy_cycles += aes_.busy_cycles();
+  stats.aes_busy_cycles += aes_busy_cycles();  // engine-summed, per the field doc
   stats.dram_busy_cycles += dram_.busy_cycles();
   stats.counter_traffic_bytes += counter_traffic_bytes_;
   if (counter_cache_) {

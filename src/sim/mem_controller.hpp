@@ -52,6 +52,26 @@ class MemoryController {
 
   void set_probe(BusProbe* probe) { probe_ = probe; }
 
+  // Per-controller telemetry accessors (pull-based; nothing extra is tracked).
+  [[nodiscard]] std::uint64_t read_bytes() const { return read_bytes_; }
+  [[nodiscard]] std::uint64_t write_bytes() const { return write_bytes_; }
+  [[nodiscard]] std::uint64_t encrypted_bytes() const { return encrypted_bytes_; }
+  [[nodiscard]] std::uint64_t bypassed_bytes() const { return bypassed_bytes_; }
+  [[nodiscard]] std::uint64_t counter_traffic_bytes() const {
+    return counter_traffic_bytes_;
+  }
+  [[nodiscard]] double dram_busy_cycles() const { return dram_.busy_cycles(); }
+  /// AES occupancy summed over this controller's engines: the pipe models
+  /// `engines_per_controller` engines as one aggregate-bandwidth resource, so
+  /// its busy time is scaled back up to engine-cycles of work.
+  [[nodiscard]] double aes_busy_cycles() const {
+    return aes_.busy_cycles() * config_.engines_per_controller;
+  }
+  /// Null when the scheme has no counter cache.
+  [[nodiscard]] const util::HitRate* counter_hit_rate() const {
+    return counter_cache_ ? &counter_cache_->hit_rate() : nullptr;
+  }
+
  private:
   /// Books the counter-fetch portion of a counter-mode access; returns the
   /// cycle the counter value is available. May inject counter-line DRAM

@@ -1,0 +1,20 @@
+#include "sim/sim_stats.hpp"
+
+#include "sim/gpu_config.hpp"
+
+namespace sealdl::sim {
+
+double dram_utilization(const SimStats& stats, const GpuConfig& config) {
+  if (stats.cycles == 0) return 0.0;
+  return stats.dram_busy_cycles / (static_cast<double>(config.num_channels) *
+                                   static_cast<double>(stats.cycles));
+}
+
+double aes_utilization(const SimStats& stats, const GpuConfig& config) {
+  if (stats.cycles == 0) return 0.0;
+  const double engines = static_cast<double>(config.num_channels) *
+                         static_cast<double>(config.engines_per_controller);
+  return stats.aes_busy_cycles / (engines * static_cast<double>(stats.cycles));
+}
+
+}  // namespace sealdl::sim

@@ -51,6 +51,23 @@ struct SimStats {
   [[nodiscard]] std::uint64_t dram_bytes() const {
     return dram_read_bytes + dram_write_bytes;
   }
+
+  [[nodiscard]] double encrypted_fraction() const {
+    const std::uint64_t total = dram_bytes();
+    return total ? static_cast<double>(encrypted_bytes) / static_cast<double>(total)
+                 : 0.0;
+  }
 };
+
+struct GpuConfig;
+
+/// Average fraction of aggregate DRAM bandwidth busy over the run.
+double dram_utilization(const SimStats& stats, const GpuConfig& config);
+
+/// Average fraction of aggregate AES capacity busy over the run. Normalized
+/// by the configured engine population (num_channels x engines_per_controller)
+/// so engine-count ablations report honestly — `aes_busy_cycles` is summed
+/// over engines, not controllers.
+double aes_utilization(const SimStats& stats, const GpuConfig& config);
 
 }  // namespace sealdl::sim

@@ -51,6 +51,7 @@ bool SmCore::prepare(int idx, WarpState& warp) {
       if (warp.outstanding_loads > threshold) {
         warp.wait = WarpWait::kLoads;  // re-queued by on_load_return()
         warp.wait_threshold = threshold;
+        ++barrier_parks_;
         return false;
       }
       warp.op.reset();  // satisfied barrier costs no issue slot
@@ -87,21 +88,25 @@ int SmCore::tick(Cycle now) {
     WarpOp& op = *warp.op;
     switch (op.kind) {
       case WarpOp::Kind::kCompute:
+        ++compute_issued_;
         if (--op.count == 0) warp.op.reset();
         break;
       case WarpOp::Kind::kLoad:
         if (sm_outstanding_ >= config_.max_outstanding_loads_per_sm) {
           warp.wait = WarpWait::kWindow;
           window_wait_.push_back(idx);
+          ++window_stalls_;
           continue;  // try another warp this cycle
         }
         send_request_(now, MemRequest{op.addr, false, sm_id_, idx});
         ++warp.outstanding_loads;
         ++sm_outstanding_;
+        ++loads_issued_;
         warp.op.reset();
         break;
       case WarpOp::Kind::kStore:
         send_request_(now, MemRequest{op.addr, true, sm_id_, -1});
+        ++stores_issued_;
         warp.op.reset();
         break;
       case WarpOp::Kind::kWaitLoads:

@@ -37,6 +37,14 @@ class SmCore {
   [[nodiscard]] std::uint64_t warp_instructions() const { return instructions_; }
   [[nodiscard]] int outstanding_loads() const { return sm_outstanding_; }
 
+  // Issue/stall breakdown (telemetry): instructions by kind plus the two ways
+  // a warp leaves the ready ring without issuing.
+  [[nodiscard]] std::uint64_t compute_issued() const { return compute_issued_; }
+  [[nodiscard]] std::uint64_t loads_issued() const { return loads_issued_; }
+  [[nodiscard]] std::uint64_t stores_issued() const { return stores_issued_; }
+  [[nodiscard]] std::uint64_t window_stalls() const { return window_stalls_; }
+  [[nodiscard]] std::uint64_t barrier_parks() const { return barrier_parks_; }
+
   /// True if at least one warp could issue right now (used by the simulator's
   /// idle-cycle fast-forward).
   [[nodiscard]] bool has_ready_warp() const { return !ready_.empty(); }
@@ -79,6 +87,11 @@ class SmCore {
   int live_warps_ = 0;
   int sm_outstanding_ = 0;
   std::uint64_t instructions_ = 0;
+  std::uint64_t compute_issued_ = 0;
+  std::uint64_t loads_issued_ = 0;
+  std::uint64_t stores_issued_ = 0;
+  std::uint64_t window_stalls_ = 0;
+  std::uint64_t barrier_parks_ = 0;
 };
 
 }  // namespace sealdl::sim

@@ -1,0 +1,40 @@
+#include "telemetry/collect.hpp"
+
+namespace sealdl::telemetry {
+
+void collect_component_metrics(const sim::GpuSimulator& simulator,
+                               MetricsRegistry& registry) {
+  for (int i = 0; i < simulator.num_sms(); ++i) {
+    const sim::SmCore& sm = simulator.sm(i);
+    const std::string prefix = "sm" + std::to_string(i) + "/";
+    registry.counter(prefix + "warp_instructions").add(sm.warp_instructions());
+    registry.counter(prefix + "compute_issued").add(sm.compute_issued());
+    registry.counter(prefix + "loads_issued").add(sm.loads_issued());
+    registry.counter(prefix + "stores_issued").add(sm.stores_issued());
+    registry.counter(prefix + "window_stalls").add(sm.window_stalls());
+    registry.counter(prefix + "barrier_parks").add(sm.barrier_parks());
+  }
+  for (int c = 0; c < simulator.num_channels(); ++c) {
+    const std::string l2 = "l2_slice" + std::to_string(c) + "/";
+    const util::HitRate& hits = simulator.l2_slice(c).hit_rate();
+    registry.counter(l2 + "hits").add(hits.hits);
+    registry.counter(l2 + "accesses").add(hits.total);
+
+    const sim::MemoryController& mc = simulator.controller(c);
+    const std::string prefix = "mc" + std::to_string(c) + "/";
+    registry.counter(prefix + "read_bytes").add(mc.read_bytes());
+    registry.counter(prefix + "write_bytes").add(mc.write_bytes());
+    registry.counter(prefix + "encrypted_bytes").add(mc.encrypted_bytes());
+    registry.counter(prefix + "bypassed_bytes").add(mc.bypassed_bytes());
+    registry.counter(prefix + "counter_traffic_bytes")
+        .add(mc.counter_traffic_bytes());
+    registry.gauge(prefix + "dram_busy_cycles").add(mc.dram_busy_cycles());
+    registry.gauge(prefix + "aes_busy_cycles").add(mc.aes_busy_cycles());
+    if (const util::HitRate* counters = mc.counter_hit_rate()) {
+      registry.counter(prefix + "counter_hits").add(counters->hits);
+      registry.counter(prefix + "counter_accesses").add(counters->total);
+    }
+  }
+}
+
+}  // namespace sealdl::telemetry

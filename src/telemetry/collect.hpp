@@ -1,0 +1,23 @@
+// Pulls per-component counters out of a finished GpuSimulator into a
+// MetricsRegistry. Call after run(); repeated calls (one per simulated
+// layer) accumulate, so a whole-network run yields network-total
+// per-component metrics.
+#pragma once
+
+#include "sim/gpu_simulator.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace sealdl::telemetry {
+
+/// Metric names follow `component/metric`:
+///   sm{i}/warp_instructions, sm{i}/compute_issued, sm{i}/loads_issued,
+///   sm{i}/stores_issued, sm{i}/window_stalls, sm{i}/barrier_parks,
+///   l2_slice{c}/hits, l2_slice{c}/accesses,
+///   mc{c}/read_bytes, mc{c}/write_bytes, mc{c}/encrypted_bytes,
+///   mc{c}/bypassed_bytes, mc{c}/counter_traffic_bytes,
+///   mc{c}/dram_busy_cycles, mc{c}/aes_busy_cycles (gauges),
+///   mc{c}/counter_hits, mc{c}/counter_accesses (counter mode only).
+void collect_component_metrics(const sim::GpuSimulator& simulator,
+                               MetricsRegistry& registry);
+
+}  // namespace sealdl::telemetry

@@ -1,0 +1,46 @@
+#include "telemetry/phase.hpp"
+
+namespace sealdl::telemetry {
+
+const char* bound_name(Bound bound) {
+  switch (bound) {
+    case Bound::kCompute:
+      return "compute-bound";
+    case Bound::kDram:
+      return "dram-bound";
+    case Bound::kAes:
+      return "aes-bound";
+  }
+  return "?";
+}
+
+Bound classify_bound(double dram_util, double aes_util) {
+  if (aes_util >= kBoundThreshold && aes_util >= dram_util) return Bound::kAes;
+  if (dram_util >= kBoundThreshold) return Bound::kDram;
+  return Bound::kCompute;
+}
+
+LayerPhaseRecord make_layer_record(const std::string& name,
+                                   const sim::SimStats& stats,
+                                   const sim::GpuConfig& config, double scale,
+                                   sim::Cycle start_cycle) {
+  LayerPhaseRecord record;
+  record.name = name;
+  record.start_cycle = start_cycle;
+  record.sim_cycles = stats.cycles;
+  record.scale = scale;
+  record.full_cycles = static_cast<double>(stats.cycles) * scale;
+  record.ipc = stats.ipc();
+  record.thread_instructions = stats.thread_instructions;
+  record.dram_bytes = stats.dram_bytes();
+  record.encrypted_bytes = stats.encrypted_bytes;
+  record.bypassed_bytes = stats.bypassed_bytes;
+  record.encrypted_fraction = stats.encrypted_fraction();
+  record.dram_util = dram_utilization(stats, config);
+  record.aes_util = aes_utilization(stats, config);
+  record.l2_hit_rate = stats.l2_hit_rate();
+  record.bound = classify_bound(record.dram_util, record.aes_util);
+  return record;
+}
+
+}  // namespace sealdl::telemetry

@@ -1,0 +1,55 @@
+// Per-layer phase records: where did this layer's cycles go?
+//
+// Each simulated layer is summarized into one record carrying the raw
+// volumes plus an AES-bound / DRAM-bound / compute-bound classification —
+// the per-layer evidence behind the paper's §II-B argument (full encryption
+// turns DRAM-bound layers AES-bound; Smart Encryption turns them back).
+#pragma once
+
+#include <string>
+
+#include "sim/gpu_config.hpp"
+#include "sim/sim_stats.hpp"
+
+namespace sealdl::telemetry {
+
+enum class Bound {
+  kCompute,  ///< neither memory resource saturated; issue-limited
+  kDram,     ///< DRAM bandwidth is the dominant saturated resource
+  kAes,      ///< AES engine occupancy is the dominant saturated resource
+};
+
+const char* bound_name(Bound bound);
+
+struct LayerPhaseRecord {
+  std::string name;
+  sim::Cycle start_cycle = 0;  ///< offset on the concatenated sim timeline
+  sim::Cycle sim_cycles = 0;   ///< cycles of the simulated slice
+  double scale = 1.0;          ///< full-layer cycles = sim_cycles * scale
+  double full_cycles = 0.0;
+  double ipc = 0.0;
+  std::uint64_t thread_instructions = 0;
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t encrypted_bytes = 0;
+  std::uint64_t bypassed_bytes = 0;
+  double encrypted_fraction = 0.0;  ///< encrypted / total DRAM bytes
+  double dram_util = 0.0;
+  double aes_util = 0.0;
+  double l2_hit_rate = 0.0;
+  Bound bound = Bound::kCompute;
+};
+
+/// A resource above this average utilization is considered saturated.
+inline constexpr double kBoundThreshold = 0.5;
+
+/// Picks the dominant saturated resource (>= kBoundThreshold); compute-bound
+/// when neither DRAM nor AES qualifies.
+Bound classify_bound(double dram_util, double aes_util);
+
+/// Builds the record for one simulated layer.
+LayerPhaseRecord make_layer_record(const std::string& name,
+                                   const sim::SimStats& stats,
+                                   const sim::GpuConfig& config, double scale,
+                                   sim::Cycle start_cycle);
+
+}  // namespace sealdl::telemetry

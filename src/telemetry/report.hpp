@@ -1,0 +1,38 @@
+// Schema-stable JSON run report.
+//
+// Layout (schema_version 1, see docs/OBSERVABILITY.md):
+//   { "schema_version": 1, "tool": ..., "workload": ..., "scheme": ...,
+//     "seed": ..., "config": {...}, "aggregate": {...},
+//     "layers": [ {...}, ... ], "series": [ {...}, ... ], "metrics": {...} }
+//
+// The document is deterministic: no timestamps, sorted metric names, fixed
+// float formatting — two identical runs serialize byte-identically.
+#pragma once
+
+#include <string>
+
+#include "sim/gpu_config.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace sealdl::telemetry {
+
+/// Everything about a run that is not measured: identity and intent.
+struct RunInfo {
+  std::string tool = "sealdl-sim";
+  std::string workload;  ///< e.g. "vgg16", "gemm-1024"
+  std::string scheme;    ///< e.g. "seal-c"
+  std::uint64_t seed = 0;
+};
+
+/// Serializes the full run report.
+std::string run_report_json(const RunInfo& info, const sim::GpuConfig& config,
+                            const RunTelemetry& telemetry);
+
+/// Writes the modeled machine as one JSON object value (shared by the run
+/// report's "config" key).
+void write_config_json(util::JsonWriter& json, const sim::GpuConfig& config);
+
+/// Writes `text` to `path`; throws std::runtime_error on I/O failure.
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace sealdl::telemetry

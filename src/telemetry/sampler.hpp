@@ -1,0 +1,70 @@
+// Interval sampling of simulator state into time series.
+//
+// The simulator polls due() once per simulated cycle (one branch when
+// sampling is off because the pointer is null — the hot loop never reaches
+// here) and, when a sample boundary is crossed, records the deltas since the
+// previous sample. Whole-network runs simulate each layer in a fresh
+// simulator starting at local cycle 0; begin_segment() re-bases the sampler
+// so the series forms one concatenated timeline across layers.
+//
+// Header-only on purpose: src/sim includes this without linking the
+// telemetry library (which itself links sealdl_sim for the export sinks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/request.hpp"
+
+namespace sealdl::telemetry {
+
+/// One point of the run time series. Rates are over the interval since the
+/// previous sample (utilizations may transiently exceed 1.0 because the
+/// reservation pipes book occupancy into the future).
+struct TimeSample {
+  sim::Cycle cycle = 0;        ///< global (concatenated) timeline position
+  double ipc = 0.0;            ///< thread instructions per cycle
+  double dram_util = 0.0;      ///< fraction of aggregate DRAM bandwidth
+  double aes_util = 0.0;       ///< fraction of aggregate AES capacity
+  std::uint64_t dram_bytes = 0;  ///< DRAM bytes moved in the interval
+};
+
+class IntervalSampler {
+ public:
+  explicit IntervalSampler(sim::Cycle interval)
+      : interval_(interval ? interval : 1), next_local_(interval_) {}
+
+  [[nodiscard]] sim::Cycle interval() const { return interval_; }
+
+  /// True when `local_now` has crossed the next sample boundary.
+  [[nodiscard]] bool due(sim::Cycle local_now) const {
+    return local_now >= next_local_;
+  }
+
+  /// Appends a sample taken at local cycle `sample.cycle`; the stored point
+  /// is shifted onto the global timeline.
+  void record(TimeSample sample) {
+    next_local_ = sample.cycle + interval_;
+    sample.cycle += offset_;
+    samples_.push_back(sample);
+  }
+
+  /// Starts a new layer segment whose local cycle 0 sits at global
+  /// `global_offset`.
+  void begin_segment(sim::Cycle global_offset) {
+    offset_ = global_offset;
+    next_local_ = interval_;
+  }
+
+  [[nodiscard]] const std::vector<TimeSample>& samples() const {
+    return samples_;
+  }
+
+ private:
+  sim::Cycle interval_;
+  sim::Cycle offset_ = 0;
+  sim::Cycle next_local_;
+  std::vector<TimeSample> samples_;
+};
+
+}  // namespace sealdl::telemetry

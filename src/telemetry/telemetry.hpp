@@ -1,0 +1,60 @@
+// Telemetry collection context for one run.
+//
+// Strictly opt-in: nothing in the simulator or workload layer allocates or
+// records anything unless a RunTelemetry is attached (RunOptions::telemetry,
+// GpuSimulator::set_sampler). With it absent, simulation results are
+// cycle-identical to a build without telemetry at all — the same discipline
+// as SEALDL_LOG.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/phase.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace sealdl::telemetry {
+
+struct TelemetryOptions {
+  /// Cycles between time-series samples; 0 disables the sampler (per-layer
+  /// records and component metrics are still collected).
+  sim::Cycle sample_interval = 0;
+};
+
+class RunTelemetry {
+ public:
+  explicit RunTelemetry(TelemetryOptions options = {}) : options_(options) {
+    if (options_.sample_interval) sampler_.emplace(options_.sample_interval);
+  }
+
+  [[nodiscard]] const TelemetryOptions& options() const { return options_; }
+
+  MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+
+  /// Null when sampling is disabled.
+  IntervalSampler* sampler() { return sampler_ ? &*sampler_ : nullptr; }
+  [[nodiscard]] const IntervalSampler* sampler() const {
+    return sampler_ ? &*sampler_ : nullptr;
+  }
+
+  std::vector<LayerPhaseRecord>& layers() { return layers_; }
+  [[nodiscard]] const std::vector<LayerPhaseRecord>& layers() const {
+    return layers_;
+  }
+
+  /// Global position on the concatenated per-layer sim timeline; the network
+  /// runner advances it by each layer's simulated cycles.
+  [[nodiscard]] sim::Cycle timeline() const { return timeline_; }
+  void advance_timeline(sim::Cycle cycles) { timeline_ += cycles; }
+
+ private:
+  TelemetryOptions options_;
+  MetricsRegistry registry_;
+  std::optional<IntervalSampler> sampler_;
+  std::vector<LayerPhaseRecord> layers_;
+  sim::Cycle timeline_ = 0;
+};
+
+}  // namespace sealdl::telemetry

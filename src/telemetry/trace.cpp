@@ -1,0 +1,83 @@
+#include "telemetry/trace.hpp"
+
+namespace sealdl::telemetry {
+
+namespace {
+
+/// Simulated cycles -> microseconds at the core clock (cycles/us = MHz).
+double to_us(double cycles, const sim::GpuConfig& config) {
+  return cycles / config.core_mhz;
+}
+
+void write_metadata(util::JsonWriter& json, const char* what, int pid, int tid,
+                    const std::string& name) {
+  json.begin_object();
+  json.field("name", what);
+  json.field("ph", "M");
+  json.field("pid", pid);
+  if (tid >= 0) json.field("tid", tid);
+  json.key("args").begin_object().field("name", name).end_object();
+  json.end_object();
+}
+
+void write_counter(util::JsonWriter& json, const char* track, double ts,
+                   const char* series, double value) {
+  json.begin_object();
+  json.field("name", track);
+  json.field("ph", "C");
+  json.field("ts", ts);
+  json.field("pid", 0);
+  json.key("args").begin_object().field(series, value).end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const RunInfo& info, const sim::GpuConfig& config,
+                              const RunTelemetry& telemetry) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.key("traceEvents").begin_array();
+
+  write_metadata(json, "process_name", 0, -1,
+                 info.tool + ": " + info.workload + " / " + info.scheme);
+  write_metadata(json, "thread_name", 0, 0, "layers");
+
+  for (const LayerPhaseRecord& layer : telemetry.layers()) {
+    json.begin_object();
+    json.field("name", layer.name);
+    json.field("cat", "layer");
+    json.field("ph", "X");
+    json.field("ts", to_us(static_cast<double>(layer.start_cycle), config));
+    json.field("dur", to_us(static_cast<double>(layer.sim_cycles), config));
+    json.field("pid", 0);
+    json.field("tid", 0);
+    json.key("args").begin_object();
+    json.field("bound", bound_name(layer.bound));
+    json.field("ipc", layer.ipc);
+    json.field("dram_util", layer.dram_util);
+    json.field("aes_util", layer.aes_util);
+    json.field("encrypted_fraction", layer.encrypted_fraction);
+    json.field("scale", layer.scale);
+    json.end_object();
+    json.end_object();
+  }
+
+  if (const IntervalSampler* sampler = telemetry.sampler()) {
+    for (const TimeSample& sample : sampler->samples()) {
+      const double ts = to_us(static_cast<double>(sample.cycle), config);
+      write_counter(json, "IPC", ts, "ipc", sample.ipc);
+      write_counter(json, "DRAM utilization", ts, "util", sample.dram_util);
+      write_counter(json, "AES utilization", ts, "util", sample.aes_util);
+      write_counter(json, "DRAM bytes/interval", ts, "bytes",
+                    static_cast<double>(sample.dram_bytes));
+    }
+  }
+
+  json.end_array();
+  json.end_object();
+  return json.str() + "\n";
+}
+
+}  // namespace sealdl::telemetry

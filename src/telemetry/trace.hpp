@@ -1,0 +1,21 @@
+// Chrome trace-event ("traceEvents") emitter, loadable in Perfetto
+// (https://ui.perfetto.dev) and chrome://tracing.
+//
+// The trace shows one "layers" thread of complete ("X") spans — one per
+// simulated layer, annotated with its boundedness classification — plus
+// counter ("C") tracks for IPC, DRAM utilization, AES utilization, and DRAM
+// bytes per interval when time-series sampling was enabled. Timestamps are
+// microseconds of simulated time at the configured core clock.
+#pragma once
+
+#include <string>
+
+#include "sim/gpu_config.hpp"
+#include "telemetry/report.hpp"
+
+namespace sealdl::telemetry {
+
+std::string chrome_trace_json(const RunInfo& info, const sim::GpuConfig& config,
+                              const RunTelemetry& telemetry);
+
+}  // namespace sealdl::telemetry

@@ -1,0 +1,56 @@
+// Minimal streaming JSON writer for telemetry exports.
+//
+// Produces deterministic output: keys are emitted in the order the caller
+// writes them, doubles use a fixed "%.12g" format, and no locale-dependent
+// formatting is involved — two identical runs yield byte-identical documents
+// (the property the telemetry determinism test asserts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sealdl::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; the next value/begin_* call supplies its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// Shorthand for key(name) followed by value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The finished document. All begin_* calls must be closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+  static std::string escape(std::string_view s);
+
+ private:
+  void comma();  ///< separator before a new element, if one is needed
+
+  std::string out_;
+  /// One entry per open container: whether it already holds an element.
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace sealdl::util

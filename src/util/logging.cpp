@@ -1,13 +1,17 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <string>
 
 namespace sealdl::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogLevel> g_level{
+    parse_log_level(std::getenv("SEALDL_LOG_LEVEL"), LogLevel::kWarn)};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -24,6 +28,17 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 }  // namespace
+
+LogLevel parse_log_level(const char* name, LogLevel fallback) {
+  if (!name) return fallback;
+  std::string lowered(name);
+  for (char& c : lowered) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  return fallback;
+}
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }

@@ -9,9 +9,15 @@ namespace sealdl::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global threshold; messages below it are discarded.
+/// Global threshold; messages below it are discarded. The initial threshold
+/// honors the SEALDL_LOG_LEVEL environment variable (debug|info|warn|error,
+/// case-insensitive); unset or unrecognized values leave the default (warn).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses a level name as accepted by SEALDL_LOG_LEVEL; `fallback` on null or
+/// unrecognized input.
+LogLevel parse_log_level(const char* name, LogLevel fallback);
 
 /// Writes one formatted line to stderr (thread-safe at line granularity).
 void log_line(LogLevel level, const std::string& message);

@@ -62,6 +62,31 @@ void Histogram::add(double x) {
 
 std::uint64_t Histogram::bucket_count(std::size_t i) const { return counts_.at(i); }
 
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = underflow_ + overflow_;
+  for (const std::uint64_t c : counts_) total += c;
+  return total;
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return lo_;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank in [0, total]; the value below which p% of the mass lies.
+  const double target = p / 100.0 * static_cast<double>(total);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts_[i]);
+    if (in_bucket > 0.0 && target <= cumulative + in_bucket) {
+      const double fraction = (target - cumulative) / in_bucket;
+      return bucket_lo(i) + fraction * width_;
+    }
+    cumulative += in_bucket;
+  }
+  return bucket_lo(counts_.size());  // == hi: target lies in overflow
+}
+
 double Histogram::bucket_lo(std::size_t i) const {
   return lo_ + width_ * static_cast<double>(i);
 }

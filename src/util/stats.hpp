@@ -59,6 +59,15 @@ class Histogram {
   [[nodiscard]] double bucket_lo(std::size_t i) const;
   [[nodiscard]] double bucket_hi(std::size_t i) const;
 
+  /// Total samples recorded, including under/overflow.
+  [[nodiscard]] std::uint64_t count() const;
+
+  /// Approximate p-th percentile (p in [0,100], clamped) by linear
+  /// interpolation within the containing bucket. Samples in the underflow
+  /// bucket resolve to `lo`, overflow samples to `hi`; an empty histogram
+  /// returns `lo`.
+  [[nodiscard]] double percentile(double p) const;
+
  private:
   double lo_;
   double width_;

@@ -1,6 +1,8 @@
 #include "workload/network_runner.hpp"
 
 #include "sim/gpu_simulator.hpp"
+#include "telemetry/collect.hpp"
+#include "util/logging.hpp"
 #include "workload/layer_trace.hpp"
 
 namespace sealdl::workload {
@@ -52,17 +54,36 @@ NetworkResult run_specs(const std::vector<models::LayerSpec>& specs,
 
   NetworkResult result;
   const int num_warps = config.num_sms * config.warps_per_sm;
+  telemetry::RunTelemetry* collect = options.telemetry;
   for (const std::size_t idx : indices) {
     const auto& layer = layout.layers().at(idx);
     LayerWork work =
         make_layer_programs(layer, num_warps, options.max_tiles_per_layer);
     sim::GpuSimulator simulator(config, &heap.secure_map());
     simulator.load_work(std::move(work.programs));
+    if (collect) {
+      if (auto* sampler = collect->sampler()) {
+        sampler->begin_segment(collect->timeline());
+        simulator.set_sampler(sampler);
+      }
+    }
     simulator.run();
     LayerResult lr;
     lr.name = layer.spec.name;
     lr.stats = simulator.stats();
     lr.scale = work.scale();
+    SEALDL_DEBUG << "layer " << lr.name << ": " << lr.stats.cycles
+                 << " cycles, ipc " << lr.stats.ipc() << ", scale " << lr.scale;
+    if (collect) {
+      collect->layers().push_back(telemetry::make_layer_record(
+          lr.name, lr.stats, config, lr.scale, collect->timeline()));
+      telemetry::collect_component_metrics(simulator, collect->registry());
+      collect->registry()
+          .histogram("layer/latency_ms", 0.0, 100.0, 200)
+          .add(static_cast<double>(lr.stats.cycles) * lr.scale /
+               (config.core_mhz * 1e3));
+      collect->advance_timeline(lr.stats.cycles);
+    }
     result.layers.push_back(std::move(lr));
   }
   return result;

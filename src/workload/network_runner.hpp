@@ -9,6 +9,7 @@
 #include "core/model_layout.hpp"
 #include "sim/gpu_config.hpp"
 #include "sim/sim_stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sealdl::workload {
 
@@ -44,6 +45,10 @@ struct RunOptions {
   /// is still built, so e.g. a POOL keeps the channel encryption induced by
   /// its downstream CONV). Results appear in filter order.
   std::vector<std::size_t> layer_filter;
+  /// Optional collection sink: per-layer phase records, per-component
+  /// metrics, and (when its sampler is configured) time series. Null — the
+  /// default — collects nothing and leaves simulation cycle-identical.
+  telemetry::RunTelemetry* telemetry = nullptr;
 };
 
 /// Simulates one network described by `specs` under `config`.

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -118,6 +119,38 @@ TEST(Histogram, BucketsAndOverflow) {
   EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
 }
 
+TEST(Histogram, PercentileOfEmptyIsLowerBound) {
+  Histogram h(2.0, 10.0, 4);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 2.0);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  Histogram h(0.0, 10.0, 5);
+  for (int i = 0; i < 4; ++i) h.add(1.0);  // all mass in bucket [0, 2)
+  EXPECT_EQ(h.count(), 4u);
+  // p50 → rank 2 of 4 → halfway through the only occupied bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+}
+
+TEST(Histogram, PercentileHandlesUnderflowAndOverflowMass) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-5.0);  // underflow
+  h.add(5.0);
+  h.add(50.0);  // overflow
+  EXPECT_EQ(h.count(), 3u);
+  // First third of the mass is underflow → clamped to lo.
+  EXPECT_DOUBLE_EQ(h.percentile(10.0), 0.0);
+  // Last third is overflow → clamped to hi.
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 10.0);
+  // Out-of-range p is clamped, not UB.
+  EXPECT_DOUBLE_EQ(h.percentile(150.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-3.0), 0.0);
+}
+
 TEST(Table, RendersAlignedCells) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});
@@ -160,6 +193,18 @@ TEST(Cli, MissingFlagFallsBack) {
   CliFlags flags(1, const_cast<char**>(argv));
   EXPECT_EQ(flags.get_int("n", 17), 17);
   EXPECT_FALSE(flags.has("n"));
+}
+
+TEST(Logging, ParseLogLevelNamesAndFallback) {
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kWarn), LogLevel::kError);
+  // Unset / unknown values keep the fallback (SEALDL_LOG_LEVEL unset case).
+  EXPECT_EQ(parse_log_level(nullptr, LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("verbose", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("", LogLevel::kError), LogLevel::kError);
 }
 
 }  // namespace

@@ -10,12 +10,21 @@
 //   sealdl-sim --workload pool --in-ch 64 --hw 224 --scheme seal-c --split-counters
 //
 // Schemes: baseline | direct | counter | seal-d | seal-c.
+//
+// Telemetry sinks (see docs/OBSERVABILITY.md):
+//   --json report.json        machine-readable run report
+//   --trace run.trace.json    Chrome trace-event file (Perfetto-compatible)
+//   --sample-interval 10000   time-series sampling period in cycles
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "models/layer_spec.hpp"
 #include "sim/gpu_simulator.hpp"
+#include "telemetry/collect.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/gemm_trace.hpp"
@@ -53,19 +62,15 @@ void print_stats(const sim::SimStats& stats, double scale,
   table.add_row({"L2 hit rate", util::Table::pct(stats.l2_hit_rate())});
   table.add_row({"DRAM read", util::Table::fmt(static_cast<double>(stats.dram_read_bytes) / 1e6, 2) + " MB"});
   table.add_row({"DRAM write", util::Table::fmt(static_cast<double>(stats.dram_write_bytes) / 1e6, 2) + " MB"});
-  table.add_row({"DRAM utilization",
-                 util::Table::pct(stats.dram_busy_cycles /
-                                  (static_cast<double>(config.num_channels) *
-                                   static_cast<double>(stats.cycles)))});
+  table.add_row({"DRAM utilization", util::Table::pct(sim::dram_utilization(stats, config))});
   if (config.scheme != sim::EncryptionScheme::kNone) {
     table.add_row({"encrypted bytes",
                    util::Table::fmt(static_cast<double>(stats.encrypted_bytes) / 1e6, 2) + " MB"});
     table.add_row({"bypassed bytes",
                    util::Table::fmt(static_cast<double>(stats.bypassed_bytes) / 1e6, 2) + " MB"});
-    table.add_row({"AES utilization",
-                   util::Table::pct(stats.aes_busy_cycles /
-                                    (static_cast<double>(config.num_channels) *
-                                     static_cast<double>(stats.cycles)))});
+    // Normalized over num_channels x engines_per_controller engines, so the
+    // --engines ablations report honestly.
+    table.add_row({"AES utilization", util::Table::pct(sim::aes_utilization(stats, config))});
   }
   if (config.scheme == sim::EncryptionScheme::kCounter) {
     table.add_row({"counter-cache hit rate", util::Table::pct(stats.counter_hit_rate())});
@@ -92,10 +97,27 @@ int run(int argc, char** argv) {
       flags.get_double("engine-gbps", config.engine.throughput_gbps);
   config.dram_total_gbps = flags.get_double("dram-gbps", config.dram_total_gbps);
 
+  // Telemetry sinks are strictly opt-in; with neither --json nor --trace the
+  // simulation path is identical to a telemetry-free build.
+  const std::string json_path = flags.get("json", "");
+  const std::string trace_path = flags.get("trace", "");
+  const auto sample_interval =
+      static_cast<sim::Cycle>(flags.get_int("sample-interval", 10000));
+  std::unique_ptr<telemetry::RunTelemetry> collect;
+  if (!json_path.empty() || !trace_path.empty()) {
+    telemetry::TelemetryOptions topts;
+    topts.sample_interval = sample_interval;
+    collect = std::make_unique<telemetry::RunTelemetry>(topts);
+  }
+  telemetry::RunInfo info;
+  info.workload = workload;
+  info.scheme = flags.get("scheme", "baseline");
+
   workload::RunOptions options;
   options.max_tiles_per_layer = tiles;
   options.selective = choice.selective;
   options.plan.encryption_ratio = ratio;
+  options.telemetry = collect.get();
   const bool single_layer =
       workload == "conv" || workload == "pool" || workload == "fc";
   if (single_layer) {
@@ -116,6 +138,7 @@ int run(int argc, char** argv) {
         spec, config.num_sms * config.warps_per_sm, tiles);
     sim::GpuSimulator simulator(config);
     simulator.load_work(std::move(programs));
+    if (collect && collect->sampler()) simulator.set_sampler(collect->sampler());
     simulator.run();
     std::printf("GEMM %dx%dx%d, scheme %s%s\n", spec.m, spec.n, spec.k,
                 sim::scheme_name(config.scheme),
@@ -124,6 +147,13 @@ int run(int argc, char** argv) {
                          static_cast<double>(std::min<std::uint64_t>(
                              tiles ? tiles : spec.total_tiles(), spec.total_tiles()));
     print_stats(simulator.stats(), scale, config);
+    if (collect) {
+      info.workload = "gemm-" + std::to_string(spec.m);
+      collect->layers().push_back(telemetry::make_layer_record(
+          "gemm", simulator.stats(), config, scale, 0));
+      telemetry::collect_component_metrics(simulator, collect->registry());
+      collect->advance_timeline(simulator.stats().cycles);
+    }
   } else if (workload == "conv" || workload == "pool" || workload == "fc") {
     models::LayerSpec spec;
     spec.name = workload;
@@ -172,6 +202,23 @@ int run(int argc, char** argv) {
     per_layer.print();
     std::printf("\noverall IPC %.1f, latency %.2f ms @700MHz\n",
                 result.overall_ipc(), result.total_cycles() / 700e3);
+  }
+
+  if (collect) {
+    // run_specs() applies the scheme's selectivity before simulating; mirror
+    // it so the exported config matches what actually ran.
+    config.selective = choice.selective;
+    if (!json_path.empty()) {
+      telemetry::write_text_file(
+          json_path, telemetry::run_report_json(info, config, *collect));
+      std::printf("\nwrote JSON run report to %s\n", json_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      telemetry::write_text_file(
+          trace_path, telemetry::chrome_trace_json(info, config, *collect));
+      std::printf("wrote Perfetto trace to %s (open at https://ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
   }
 
   for (const auto& unused : flags.unused()) {
