@@ -56,11 +56,8 @@ void EncryptionPlan::apply_policy(LayerPlan& plan, const std::vector<float>& nor
   if (plan.encrypted_count() == rows) plan.fully_encrypted = true;
 }
 
-namespace {
-
-/// Marks the boundary layers that the §III-B policy encrypts fully.
-std::vector<bool> boundary_mask(const std::vector<bool>& is_conv,
-                                const PlanOptions& options) {
+std::vector<bool> boundary_layers(const std::vector<bool>& is_conv,
+                                  const PlanOptions& options) {
   const std::size_t n = is_conv.size();
   std::vector<bool> full(n, false);
   int head_convs = 0;
@@ -84,8 +81,6 @@ std::vector<bool> boundary_mask(const std::vector<bool>& is_conv,
   return full;
 }
 
-}  // namespace
-
 EncryptionPlan EncryptionPlan::from_model(nn::Layer& model,
                                           const PlanOptions& options) {
   const auto layers = collect_weight_layers(model);
@@ -94,7 +89,7 @@ EncryptionPlan EncryptionPlan::from_model(nn::Layer& model,
   std::vector<bool> is_conv;
   is_conv.reserve(layers.size());
   for (const auto& layer : layers) is_conv.push_back(layer.is_conv);
-  const auto full = boundary_mask(is_conv, options);
+  const auto full = boundary_layers(is_conv, options);
 
   EncryptionPlan plan;
   plan.options_ = options;
@@ -127,7 +122,7 @@ EncryptionPlan EncryptionPlan::from_row_counts(const std::vector<int>& rows,
   if (rows.size() != is_conv.size()) {
     throw std::invalid_argument("plan: rows/is_conv size mismatch");
   }
-  const auto full = boundary_mask(is_conv, options);
+  const auto full = boundary_layers(is_conv, options);
   EncryptionPlan plan;
   plan.options_ = options;
   util::Rng rng(options.random_seed);
@@ -151,6 +146,19 @@ EncryptionPlan EncryptionPlan::from_row_counts(const std::vector<int>& rows,
   }
   plan.overall_fraction_ = total_rows ? encrypted_rows / total_rows : 0.0;
   return plan;
+}
+
+EncryptionPlan EncryptionPlan::for_specs(const std::vector<models::LayerSpec>& specs,
+                                         const PlanOptions& options) {
+  std::vector<int> rows;
+  std::vector<bool> is_conv;
+  for (const auto& s : specs) {
+    if (s.type == models::LayerSpec::Type::kPool) continue;
+    rows.push_back(s.type == models::LayerSpec::Type::kConv ? s.in_channels
+                                                            : s.in_features);
+    is_conv.push_back(s.type == models::LayerSpec::Type::kConv);
+  }
+  return from_row_counts(rows, is_conv, options);
 }
 
 }  // namespace sealdl::core

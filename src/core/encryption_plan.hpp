@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/weight_layers.hpp"
+#include "models/layer_spec.hpp"
 #include "util/rng.hpp"
 
 namespace sealdl::core {
@@ -70,6 +71,13 @@ class EncryptionPlan {
                                         const std::vector<bool>& is_conv,
                                         const PlanOptions& options);
 
+  /// Geometry-only plan for a LayerSpec chain: one plan layer per CONV/FC
+  /// spec (POOLs excluded), rows = input channels / features. This is the
+  /// single construction path shared by the network runner and the static
+  /// analyzer, so both always reason about the same plan.
+  static EncryptionPlan for_specs(const std::vector<models::LayerSpec>& specs,
+                                  const PlanOptions& options);
+
   [[nodiscard]] const std::vector<LayerPlan>& layers() const { return layers_; }
   [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
   [[nodiscard]] const LayerPlan& layer(std::size_t i) const { return layers_.at(i); }
@@ -82,6 +90,12 @@ class EncryptionPlan {
 
   [[nodiscard]] const PlanOptions& options() const { return options_; }
 
+  /// Mutable access to the per-layer slices. Exists for the analyzer's
+  /// seeded-violation self-tests (sealdl-check --inject), which corrupt a
+  /// real plan to prove every rule can fire; production code never mutates
+  /// a built plan.
+  [[nodiscard]] std::vector<LayerPlan>& mutable_layers() { return layers_; }
+
  private:
   static void apply_policy(LayerPlan& plan, const std::vector<float>& norms,
                            const PlanOptions& options, util::Rng& rng);
@@ -90,5 +104,12 @@ class EncryptionPlan {
   PlanOptions options_;
   double overall_fraction_ = 0.0;
 };
+
+/// The §III-B boundary policy as a mask: full[i] is true iff weight layer i
+/// (CONV/FC order, POOLs excluded) must be fully encrypted. Exposed so the
+/// static analyzer checks the policy against the same definition the plan
+/// builder uses.
+std::vector<bool> boundary_layers(const std::vector<bool>& is_conv,
+                                  const PlanOptions& options);
 
 }  // namespace sealdl::core

@@ -31,4 +31,8 @@ void SecureHeap::mark_secure(sim::Addr addr, std::uint64_t size) {
   map_.add_range(addr, size);
 }
 
+void SecureHeap::unmark_secure(sim::Addr addr, std::uint64_t size) {
+  map_.remove_range(addr, size);
+}
+
 }  // namespace sealdl::core

@@ -37,7 +37,12 @@ class SecureHeap {
   /// per-channel selective encryption within one tensor buffer).
   void mark_secure(sim::Addr addr, std::uint64_t size);
 
+  /// Removes the secure marking from a sub-range (buffer reuse, and the
+  /// analyzer's seeded-violation self-tests).
+  void unmark_secure(sim::Addr addr, std::uint64_t size);
+
   [[nodiscard]] const sim::SecureMap& secure_map() const { return map_; }
+  [[nodiscard]] sim::Addr base() const { return base_; }
   [[nodiscard]] std::uint64_t bytes_allocated() const { return next_ - base_; }
   [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
 

@@ -80,7 +80,7 @@ class MemoryController {
 
   [[nodiscard]] Addr counter_line_addr(Addr data_addr) const;
 
-  const GpuConfig& config_;
+  GpuConfig config_;  ///< by value: controllers outlive caller-built configs
   const SecureMap* secure_map_;  ///< may be null => everything secure
   ThroughputPipe dram_;
   ThroughputPipe aes_;

@@ -37,6 +37,13 @@ class SecureMap {
   /// Number of disjoint ranges (diagnostics / tests).
   [[nodiscard]] std::size_t range_count() const { return ranges_.size(); }
 
+  /// Visits every disjoint range as fn(begin, end), in ascending address
+  /// order (the static analyzer's alignment / bounds / tagging rules).
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    for (const auto& [begin, end] : ranges_) fn(begin, end);
+  }
+
   void clear() { ranges_.clear(); }
 
  private:

@@ -1,0 +1,23 @@
+#include "verify/checker.hpp"
+
+namespace sealdl::verify {
+
+std::vector<std::unique_ptr<Checker>> default_checkers(
+    const TraceCheckOptions& trace_options) {
+  auto checkers = make_plan_checkers();
+  for (auto& checker : make_layout_checkers()) {
+    checkers.push_back(std::move(checker));
+  }
+  checkers.push_back(make_trace_checker(trace_options));
+  return checkers;
+}
+
+Report run_checkers(const AnalysisInput& input,
+                    const std::vector<std::unique_ptr<Checker>>& checkers,
+                    std::size_t max_per_rule) {
+  Report report(max_per_rule);
+  for (const auto& checker : checkers) checker->run(input, report);
+  return report;
+}
+
+}  // namespace sealdl::verify

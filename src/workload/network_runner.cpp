@@ -32,15 +32,7 @@ NetworkResult run_specs(const std::vector<models::LayerSpec>& specs,
   core::EncryptionPlan plan;
   const core::EncryptionPlan* plan_ptr = nullptr;
   if (options.selective) {
-    std::vector<int> rows;
-    std::vector<bool> is_conv;
-    for (const auto& s : specs) {
-      if (s.type == models::LayerSpec::Type::kPool) continue;
-      rows.push_back(s.type == models::LayerSpec::Type::kConv ? s.in_channels
-                                                              : s.in_features);
-      is_conv.push_back(s.type == models::LayerSpec::Type::kConv);
-    }
-    plan = core::EncryptionPlan::from_row_counts(rows, is_conv, options.plan);
+    plan = core::EncryptionPlan::for_specs(specs, options.plan);
     plan_ptr = &plan;
   }
   core::ModelLayout layout(specs, plan_ptr, heap);

@@ -1,0 +1,197 @@
+// The static analyzer (sealdl-check): clean pipelines must pass, every rule
+// must fire under its seeded violation, and a hand-corrupted plan (dropped
+// channel propagation) must be caught at both the plan and the trace level.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "models/layer_spec.hpp"
+#include "verify/analysis.hpp"
+#include "verify/checker.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/inject.hpp"
+
+namespace sealdl::verify {
+namespace {
+
+// Small inputs keep the trace walk fast; the full-scale 224 sweep runs via
+// the sealdl-check ctest entries in tools/CMakeLists.txt.
+constexpr int kInputHw = 64;
+TraceCheckOptions fast_trace() { return {.num_warps = 4, .max_tiles = 8}; }
+
+Report check(const std::vector<models::LayerSpec>& specs, BuildOptions options) {
+  const AnalysisInput input = build_input(specs, options);
+  return run_checkers(input, default_checkers(fast_trace()));
+}
+
+// ---------------------------------------------------------------- clean ---
+
+TEST(VerifyClean, NetworksPassAcrossRatios) {
+  const struct {
+    const char* name;
+    std::vector<models::LayerSpec> specs;
+  } nets[] = {{"vgg16", models::vgg16_specs(kInputHw)},
+              {"resnet18", models::resnet18_specs(kInputHw)},
+              {"resnet34", models::resnet34_specs(kInputHw)}};
+  for (const auto& net : nets) {
+    for (const double ratio : {0.0, 0.4, 0.5, 1.0}) {
+      BuildOptions options;
+      options.plan.encryption_ratio = ratio;
+      const Report report = check(net.specs, options);
+      EXPECT_EQ(report.error_count(), 0u)
+          << net.name << " ratio " << ratio << "\n"
+          << report.to_text();
+    }
+  }
+}
+
+TEST(VerifyClean, BaselinePassesWithEmptyMap) {
+  BuildOptions options;
+  options.selective = false;
+  const AnalysisInput input = build_input(models::vgg16_specs(kInputHw), options);
+  EXPECT_EQ(input.heap.secure_map().secure_bytes(), 0u);
+  const Report report = run_checkers(input, default_checkers(fast_trace()));
+  EXPECT_EQ(report.error_count(), 0u) << report.to_text();
+}
+
+TEST(VerifyClean, SeedConvToFcSeamIsWarningNotError) {
+  // The generators store conv/pool outputs with channel-pitch striding even
+  // when the next consumer is a dense FC vector: the stores stay inside the
+  // heap (trace.bounds clean) but land outside the FC input region
+  // (trace.region warns). This pins the seed behavior so a future layout fix
+  // shows up as this expectation flipping, not as a silent change.
+  BuildOptions options;
+  const Report report = check(models::vgg16_specs(kInputHw), options);
+  EXPECT_EQ(report.count("trace.bounds"), 0u);
+  EXPECT_GT(report.count("trace.region"), 0u);
+}
+
+// ----------------------------------------------------------- injections ---
+
+TEST(VerifyInject, EveryRuleFires) {
+  // ResNet-18 has the residual topology, so every injection is applicable.
+  const auto specs = models::resnet18_specs(kInputHw);
+  for (const Injection injection : all_injections()) {
+    BuildOptions options;
+    options.inject = injection;
+    const AnalysisInput input = build_input(specs, options);
+    const Report report = run_checkers(input, default_checkers(fast_trace()));
+    for (const std::string& rule : expected_rules(injection)) {
+      EXPECT_TRUE(report.fired(rule))
+          << injection_name(injection) << " did not fire " << rule << "\n"
+          << report.to_text();
+    }
+  }
+}
+
+TEST(VerifyInject, ResidualRequiresTopology) {
+  BuildOptions options;
+  options.inject = Injection::kPlanResidual;
+  EXPECT_TRUE(requires_residual_topology(Injection::kPlanResidual));
+  // VGG has no identity blocks: the injection cannot be staged.
+  EXPECT_THROW(build_input(models::vgg16_specs(kInputHw), options),
+               std::invalid_argument);
+}
+
+TEST(VerifyInject, FullEncryptionLeavesNoPlainRowToCorrupt) {
+  BuildOptions options;
+  options.plan.encryption_ratio = 1.0;
+  options.inject = Injection::kLayoutAlign;
+  EXPECT_THROW(build_input(models::vgg16_specs(kInputHw), options),
+               std::invalid_argument);
+}
+
+TEST(VerifyInject, CorruptedPlanCaughtAtPlanAndTraceLevel) {
+  // The integration scenario from the paper's invariant: a refactor loses
+  // one layer's channel propagation (fmap channel stays plaintext while its
+  // kernel row is encrypted). Both the closure rule and the trace-level
+  // mixed-operand rule must catch it.
+  BuildOptions options;
+  AnalysisInput input = build_input(models::vgg16_specs(kInputHw), options);
+  ASSERT_TRUE(input.plan.has_value());
+  // Find an encrypted channel of a conv fmap and drop its marking by hand.
+  bool corrupted = false;
+  const auto& layers = input.layout->layers();
+  for (std::size_t i = 0; i < input.specs.size() && !corrupted; ++i) {
+    if (input.specs[i].type != models::LayerSpec::Type::kConv) continue;
+    const int cp = input.consumer_plan_index(i);
+    if (cp < 0) continue;
+    const auto& lp = input.plan->layer(static_cast<std::size_t>(cp));
+    for (int c = 0; c < std::min(layers[i].ifmap_channels, lp.rows); ++c) {
+      if (!row_encrypted_safe(lp, c)) continue;
+      input.heap.unmark_secure(
+          layers[i].ifmap_base +
+              static_cast<std::uint64_t>(c) * layers[i].ifmap_channel_pitch,
+          layers[i].ifmap_channel_pitch);
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const Report report = run_checkers(input, default_checkers(fast_trace()));
+  EXPECT_TRUE(report.fired("plan.closure")) << report.to_text();
+  EXPECT_TRUE(report.fired("trace.mixed")) << report.to_text();
+}
+
+// ------------------------------------------------------------- topology ---
+
+TEST(VerifyTopology, ResidualEdgesReconstructedFromNames) {
+  const auto r18 = residual_edges_from_names(models::resnet18_specs(kInputHw));
+  EXPECT_FALSE(r18.empty());
+  const auto specs = models::resnet18_specs(kInputHw);
+  for (const ResidualEdge& edge : r18) {
+    EXPECT_LT(edge.entry_spec, edge.exit_spec);
+    EXPECT_LT(edge.exit_spec, edge.consumer_spec);
+    EXPECT_NE(specs[edge.consumer_spec].type, models::LayerSpec::Type::kPool);
+  }
+  EXPECT_TRUE(residual_edges_from_names(models::vgg16_specs(kInputHw)).empty());
+}
+
+TEST(VerifyTopology, Resnet34HasMoreIdentityBlocksThanResnet18) {
+  const auto r18 = residual_edges_from_names(models::resnet18_specs(kInputHw));
+  const auto r34 = residual_edges_from_names(models::resnet34_specs(kInputHw));
+  EXPECT_GT(r34.size(), r18.size());
+}
+
+// ---------------------------------------------------------------- report ---
+
+TEST(VerifyReport, CountsStayExactPastStorageCap) {
+  Report report(/*max_per_rule=*/2);
+  for (int i = 0; i < 5; ++i) {
+    report.add({"plan.closure", Severity::kError, "conv1", 0, 0, "x"});
+  }
+  report.add({"trace.wait", Severity::kWarning, "", 0, 0, "y"});
+  EXPECT_EQ(report.count("plan.closure"), 5u);
+  EXPECT_EQ(report.error_count(), 5u);
+  EXPECT_EQ(report.warning_count(), 1u);
+  EXPECT_EQ(report.diagnostics().size(), 3u);  // 2 stored + the warning
+  EXPECT_TRUE(report.fired("trace.wait"));
+  EXPECT_FALSE(report.fired("layout.bounds"));
+}
+
+TEST(VerifyReport, TextAndJsonRenderings) {
+  Report report;
+  report.add({"layout.bounds", Severity::kError, "conv2_1", 0x100, 0x200, "oops"});
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("layout.bounds"), std::string::npos);
+  EXPECT_NE(text.find("conv2_1"), std::string::npos);
+
+  util::JsonWriter json;
+  report.write_json(json);
+  EXPECT_NE(json.str().find("\"layout.bounds\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"errors\""), std::string::npos);
+}
+
+TEST(VerifyReport, InjectionNamesRoundTrip) {
+  for (const Injection injection : all_injections()) {
+    const auto parsed = injection_from_name(injection_name(injection));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, injection);
+    EXPECT_FALSE(expected_rules(injection).empty());
+  }
+  EXPECT_FALSE(injection_from_name("no-such-injection").has_value());
+}
+
+}  // namespace
+}  // namespace sealdl::verify

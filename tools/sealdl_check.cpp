@@ -1,0 +1,189 @@
+// sealdl-check: static invariant analyzer for SEAL encryption plans, memory
+// layouts and generated warp traces. No cycle simulation is involved: the
+// tool rebuilds the exact plan/layout pipeline the runner uses and proves the
+// invariants over it (see docs/ANALYSIS.md for the rule catalog):
+//
+//   sealdl-check --workload vgg16 --ratio 0.5
+//   sealdl-check --workload resnet18 --ratio 0.4 --json report.json
+//   sealdl-check --workload resnet34 --inject all   # every rule must fire
+//   sealdl-check --list-rules
+//
+// Exit codes: 0 = clean (or every injected violation was caught),
+// 1 = findings (or an injection went undetected), 2 = usage error.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "models/layer_spec.hpp"
+#include "telemetry/report.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "verify/checker.hpp"
+
+using namespace sealdl;
+
+namespace {
+
+std::vector<models::LayerSpec> parse_workload(const std::string& name,
+                                              int input_hw) {
+  if (name == "vgg16") return models::vgg16_specs(input_hw);
+  if (name == "resnet18") return models::resnet18_specs(input_hw);
+  if (name == "resnet34") return models::resnet34_specs(input_hw);
+  throw std::invalid_argument("unknown --workload " + name +
+                              " (vgg16|resnet18|resnet34)");
+}
+
+core::RowPolicy parse_policy(const std::string& name) {
+  if (name == "smallest") return core::RowPolicy::kSmallestL1Plain;
+  if (name == "random") return core::RowPolicy::kRandomPlain;
+  if (name == "largest") return core::RowPolicy::kLargestL1Plain;
+  throw std::invalid_argument("unknown --policy " + name +
+                              " (smallest|random|largest)");
+}
+
+void list_rules() {
+  for (const auto& checker : verify::default_checkers()) {
+    for (const std::string& rule : checker->rules()) {
+      std::printf("%-16s (checker: %.*s)\n", rule.c_str(),
+                  static_cast<int>(checker->name().size()),
+                  checker->name().data());
+    }
+  }
+  std::printf("\ninjections (--inject <name>|all):\n");
+  for (const verify::Injection injection : verify::all_injections()) {
+    std::string rules;
+    for (const std::string& rule : verify::expected_rules(injection)) {
+      if (!rules.empty()) rules += ", ";
+      rules += rule;
+    }
+    std::printf("%-18s fires: %s\n", verify::injection_name(injection),
+                rules.c_str());
+  }
+}
+
+void write_json_report(const std::string& path, const std::string& workload,
+                       const verify::BuildOptions& options,
+                       const verify::Report& report) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("tool", "sealdl-check");
+  json.field("schema_version", 1);
+  json.field("workload", workload);
+  json.field("selective", options.selective);
+  json.field("encryption_ratio", options.plan.encryption_ratio);
+  if (options.inject != verify::Injection::kNone) {
+    json.field("inject", verify::injection_name(options.inject));
+  }
+  json.key("report");
+  report.write_json(json);
+  json.end_object();
+  telemetry::write_text_file(path, json.str());
+}
+
+/// Runs one injection and verifies its expected rules all fired.
+bool run_injection(const std::vector<models::LayerSpec>& specs,
+                   verify::BuildOptions options, verify::Injection injection,
+                   const verify::TraceCheckOptions& trace_options) {
+  options.inject = injection;
+  const verify::AnalysisInput input = verify::build_input(specs, options);
+  const verify::Report report =
+      verify::run_checkers(input, verify::default_checkers(trace_options));
+  bool caught = true;
+  for (const std::string& rule : verify::expected_rules(injection)) {
+    if (!report.fired(rule)) {
+      std::printf("MISSED  %-18s rule %s did not fire\n",
+                  verify::injection_name(injection), rule.c_str());
+      caught = false;
+    }
+  }
+  if (caught) {
+    std::printf("caught  %-18s (%llu errors, %llu warnings)\n",
+                verify::injection_name(injection),
+                static_cast<unsigned long long>(report.error_count()),
+                static_cast<unsigned long long>(report.warning_count()));
+  }
+  return caught;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::CliFlags flags(argc, argv);
+
+    if (flags.get_bool("list-rules", false)) {
+      list_rules();
+      return 0;
+    }
+
+    const std::string workload = flags.get("workload", "vgg16");
+    const int input_hw = static_cast<int>(flags.get_int("input", 224));
+    verify::BuildOptions options;
+    options.plan.encryption_ratio = flags.get_double("ratio", 0.5);
+    options.plan.policy = parse_policy(flags.get("policy", "smallest"));
+    options.plan.random_seed =
+        static_cast<std::uint64_t>(flags.get_int("seed", 11));
+    options.selective = !flags.get_bool("baseline", false);
+
+    verify::TraceCheckOptions trace_options;
+    trace_options.num_warps = static_cast<int>(flags.get_int("warps", 12));
+    trace_options.max_tiles =
+        static_cast<std::uint64_t>(flags.get_int("tiles", 24));
+
+    const std::string inject_name = flags.get("inject", "");
+    const std::string json_path = flags.get("json", "");
+    const bool strict = flags.get_bool("strict", false);
+
+    const auto unused = flags.unused();
+    if (!unused.empty()) {
+      std::fprintf(stderr, "unknown flag --%s\n", unused.front().c_str());
+      return 2;
+    }
+
+    const std::vector<models::LayerSpec> specs =
+        parse_workload(workload, input_hw);
+
+    if (inject_name == "all") {
+      const bool has_residuals =
+          !verify::residual_edges_from_names(specs).empty();
+      bool all_caught = true;
+      int run = 0;
+      for (const verify::Injection injection : verify::all_injections()) {
+        if (verify::requires_residual_topology(injection) && !has_residuals) {
+          std::printf("skip    %-18s (no residual topology in %s)\n",
+                      verify::injection_name(injection), workload.c_str());
+          continue;
+        }
+        all_caught &= run_injection(specs, options, injection, trace_options);
+        ++run;
+      }
+      std::printf("%s: %d injections exercised, %s\n", workload.c_str(), run,
+                  all_caught ? "all caught" : "SOME MISSED");
+      return all_caught ? 0 : 1;
+    }
+
+    if (!inject_name.empty()) {
+      const auto injection = verify::injection_from_name(inject_name);
+      if (!injection) {
+        std::fprintf(stderr, "unknown --inject %s\n", inject_name.c_str());
+        return 2;
+      }
+      return run_injection(specs, options, *injection, trace_options) ? 0 : 1;
+    }
+
+    const verify::AnalysisInput input = verify::build_input(specs, options);
+    const verify::Report report =
+        verify::run_checkers(input, verify::default_checkers(trace_options));
+    std::printf("%s", report.to_text().c_str());
+    if (!json_path.empty()) {
+      write_json_report(json_path, workload, options, report);
+    }
+    const bool fail =
+        report.error_count() > 0 || (strict && report.warning_count() > 0);
+    return fail ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sealdl-check: %s\n", e.what());
+    return 2;
+  }
+}
