@@ -1,6 +1,6 @@
 // Ablation: can more AES silicon close the bandwidth gap instead of SEAL?
 //
-//   ./ablation_engine_count [--tiles 480] [--input 224]
+//   ./ablation_engine_count [--tiles 480] [--input 224] [--jobs N]
 //
 // The paper argues (§II-B, Table I) that adding engines is ruinously costly
 // in die area/power; this sweep quantifies what each extra engine per memory
@@ -26,6 +26,7 @@ int main_impl(int argc, char** argv) {
   const auto specs = models::vgg16_specs(input);
   workload::RunOptions options;
   options.max_tiles_per_layer = tiles;
+  options.jobs = bench::jobs_from_flags(flags);
 
   const double baseline =
       workload::run_network(specs, sim::GpuConfig::gtx480(), options).overall_ipc();

@@ -1,6 +1,6 @@
 // Ablation: whole-network performance vs SEAL encryption ratio.
 //
-//   ./ablation_ratio_sweep [--tiles 480] [--input 224] [--model vgg16]
+//   ./ablation_ratio_sweep [--tiles 480] [--input 224] [--model vgg16] [--jobs N]
 //
 // Shows where SEAL's win comes from: ratio 1.0 degenerates to full
 // encryption, ratio 0 to (insecure) baseline-like bandwidth; the paper picks
@@ -31,6 +31,7 @@ int main_impl(int argc, char** argv) {
   // Baseline and full-encryption anchors.
   workload::RunOptions options;
   options.max_tiles_per_layer = tiles;
+  options.jobs = bench::jobs_from_flags(flags);
   sim::GpuConfig base_config = sim::GpuConfig::gtx480();
   const double baseline =
       workload::run_network(specs, base_config, options).overall_ipc();

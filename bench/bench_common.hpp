@@ -65,6 +65,13 @@ inline core::PlanOptions body_layer_plan(double ratio = 0.5) {
   return plan;
 }
 
+/// Parses the shared `--jobs N` flag (per-layer simulation parallelism:
+/// 1 = serial, 0 = one worker per hardware thread). Every bench that runs
+/// networks accepts it; results are bitwise-identical across values.
+inline int jobs_from_flags(util::CliFlags& flags) {
+  return static_cast<int>(flags.get_int("jobs", 1));
+}
+
 /// Simulates one body layer followed by a synthetic consumer CONV, timing
 /// only the body layer. The consumer exists so that under SEAL the measured
 /// layer's output feature map carries a downstream layer's 50% channel
@@ -72,7 +79,8 @@ inline core::PlanOptions body_layer_plan(double ratio = 0.5) {
 inline workload::LayerResult run_body_layer(const models::LayerSpec& spec,
                                             const SchemeConfig& scheme,
                                             std::uint64_t tiles, double ratio,
-                                            telemetry::RunTelemetry* collect = nullptr) {
+                                            telemetry::RunTelemetry* collect = nullptr,
+                                            int jobs = 1) {
   models::LayerSpec consumer;
   consumer.type = models::LayerSpec::Type::kConv;
   consumer.name = "consumer";
@@ -87,6 +95,7 @@ inline workload::LayerResult run_body_layer(const models::LayerSpec& spec,
   options.plan = body_layer_plan(ratio);
   options.layer_filter = {0};
   options.telemetry = collect;
+  options.jobs = jobs;
   return workload::run_network({spec, consumer}, configure(scheme), options)
       .layers.front();
 }

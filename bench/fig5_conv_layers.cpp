@@ -1,7 +1,7 @@
 // Paper Figure 5: normalized IPC of four typical VGG CONV layers
 // (64/128/256/512 channels) under the five schemes.
 //
-//   ./fig5_conv_layers [--tiles 960] [--ratio 0.5]
+//   ./fig5_conv_layers [--tiles 960] [--ratio 0.5] [--jobs N]
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
@@ -14,6 +14,7 @@ int main_impl(int argc, char** argv) {
   util::CliFlags flags(argc, argv);
   const auto tiles = static_cast<std::uint64_t>(flags.get_int("tiles", 960));
   const double ratio = flags.get_double("ratio", 0.5);
+  const int jobs = bench::jobs_from_flags(flags);
 
   bench::banner("Figure 5 — per-CONV-layer IPC normalized to Baseline",
                 "Direct/Counter reduce IPC by up to 40%; SEAL-D/SEAL-C improve "
@@ -29,8 +30,8 @@ int main_impl(int argc, char** argv) {
     std::vector<double> normalized;
     for (std::size_t i = 0; i < layers.size(); ++i) {
       const std::size_t first = collect ? collect->layers().size() : 0;
-      const auto result =
-          bench::run_body_layer(layers[i], scheme, tiles, ratio, collect.get());
+      const auto result = bench::run_body_layer(layers[i], scheme, tiles, ratio,
+                                                collect.get(), jobs);
       bench::tag_new_layers(collect.get(), first, scheme.name);
       if (scheme.scheme == sim::EncryptionScheme::kNone) baseline[i] = result.ipc();
       const double norm = result.ipc() / baseline[i];

@@ -1,6 +1,6 @@
 // Paper Figure 6: normalized IPC of the VGG POOL layers under five schemes.
 //
-//   ./fig6_pool_layers [--tiles 960] [--ratio 0.5]
+//   ./fig6_pool_layers [--tiles 960] [--ratio 0.5] [--jobs N]
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
@@ -13,6 +13,7 @@ int main_impl(int argc, char** argv) {
   util::CliFlags flags(argc, argv);
   const auto tiles = static_cast<std::uint64_t>(flags.get_int("tiles", 960));
   const double ratio = flags.get_double("ratio", 0.5);
+  const int jobs = bench::jobs_from_flags(flags);
 
   bench::banner("Figure 6 — per-POOL-layer IPC normalized to Baseline",
                 "Direct/Counter reduce IPC by up to 50% (POOL is more "
@@ -30,7 +31,8 @@ int main_impl(int argc, char** argv) {
     std::vector<std::string> row{scheme.name};
     std::vector<double> normalized;
     for (std::size_t i = 0; i < layers.size(); ++i) {
-      const auto result = bench::run_body_layer(layers[i], scheme, tiles, ratio);
+      const auto result =
+          bench::run_body_layer(layers[i], scheme, tiles, ratio, nullptr, jobs);
       if (scheme.scheme == sim::EncryptionScheme::kNone) baseline[i] = result.ipc();
       const double norm = result.ipc() / baseline[i];
       normalized.push_back(norm);

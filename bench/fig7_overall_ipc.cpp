@@ -1,7 +1,7 @@
 // Paper Figure 7: overall IPC for full VGG-16 / ResNet-18 / ResNet-34
 // inference under the five schemes, normalized to Baseline.
 //
-//   ./fig7_overall_ipc [--tiles 480] [--ratio 0.5] [--input 224]
+//   ./fig7_overall_ipc [--tiles 480] [--ratio 0.5] [--input 224] [--jobs N]
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
@@ -15,6 +15,7 @@ int main_impl(int argc, char** argv) {
   const auto tiles = static_cast<std::uint64_t>(flags.get_int("tiles", 480));
   const double ratio = flags.get_double("ratio", 0.5);
   const int input = static_cast<int>(flags.get_int("input", 224));
+  const int jobs = bench::jobs_from_flags(flags);
 
   bench::banner("Figure 7 — overall IPC normalized to Baseline",
                 "Direct/Counter reduce whole-inference IPC by 30-38%; SEAL-D "
@@ -41,6 +42,7 @@ int main_impl(int argc, char** argv) {
       options.plan = bench::default_plan();
       options.plan.encryption_ratio = ratio;
       options.telemetry = collect.get();
+      options.jobs = jobs;
       const std::size_t first = collect ? collect->layers().size() : 0;
       const auto result = workload::run_network(
           nets[n].second, bench::configure(schemes[s]), options);

@@ -1,6 +1,6 @@
 // Paper Figure 8: whole-inference latency normalized to Baseline.
 //
-//   ./fig8_latency [--tiles 480] [--ratio 0.5] [--input 224]
+//   ./fig8_latency [--tiles 480] [--ratio 0.5] [--input 224] [--jobs N]
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
@@ -14,6 +14,7 @@ int main_impl(int argc, char** argv) {
   const auto tiles = static_cast<std::uint64_t>(flags.get_int("tiles", 480));
   const double ratio = flags.get_double("ratio", 0.5);
   const int input = static_cast<int>(flags.get_int("input", 224));
+  const int jobs = bench::jobs_from_flags(flags);
 
   bench::banner("Figure 8 — inference latency normalized to Baseline",
                 "Direct/Counter increase latency by 39-60%; SEAL-D and SEAL-C "
@@ -39,6 +40,7 @@ int main_impl(int argc, char** argv) {
       options.selective = schemes[s].selective;
       options.plan = bench::default_plan();
       options.plan.encryption_ratio = ratio;
+      options.jobs = jobs;
       const auto result = workload::run_network(
           nets[n].second, bench::configure(schemes[s]), options);
       const double cycles = result.total_cycles();

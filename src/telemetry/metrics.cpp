@@ -31,6 +31,23 @@ const util::Histogram* MetricsRegistry::find_histogram(
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    counters_[name].add(counter.value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    gauges_[name].add(gauge.value());
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, hist);
+    } else {
+      it->second.merge(hist);
+    }
+  }
+}
+
 void MetricsRegistry::write_json(util::JsonWriter& json) const {
   json.begin_object();
   for (const auto& [name, counter] : counters_) json.field(name, counter.value());

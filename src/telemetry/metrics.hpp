@@ -57,6 +57,15 @@ class MetricsRegistry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
+  /// Folds another registry into this one: counters and histogram buckets
+  /// add exactly (integers); gauges add. Parallel layer runs collect into a
+  /// private registry per task, and the runner merges the fragments in spec
+  /// order — each gauge then sees the same addends in the same order as a
+  /// serial run, so even floating-point totals are bitwise-identical.
+  /// Histogram fragments must be compatible() with any existing same-named
+  /// histogram (std::invalid_argument otherwise).
+  void merge_from(const MetricsRegistry& other);
+
   /// Serializes all instruments as one JSON object value (name-sorted).
   /// Histograms export count plus p50/p95/p99.
   void write_json(util::JsonWriter& json) const;

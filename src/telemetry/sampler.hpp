@@ -56,6 +56,20 @@ class IntervalSampler {
     next_local_ = interval_;
   }
 
+  /// Appends already-recorded samples, shifting each onto the global
+  /// timeline at `global_offset`. Parallel layer runs sample into a private
+  /// per-task sampler (offset 0, so cycles stay layer-local) and the runner
+  /// splices the segments back in spec order; the shift is the same integer
+  /// addition record() performs, so the merged series is bitwise-identical
+  /// to a serial run's.
+  void append_shifted(const std::vector<TimeSample>& samples,
+                      sim::Cycle global_offset) {
+    for (TimeSample sample : samples) {
+      sample.cycle += global_offset;
+      samples_.push_back(sample);
+    }
+  }
+
   [[nodiscard]] const std::vector<TimeSample>& samples() const {
     return samples_;
   }

@@ -93,4 +93,18 @@ double Histogram::bucket_lo(std::size_t i) const {
 
 double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i) + width_; }
 
+bool Histogram::compatible(const Histogram& other) const {
+  return lo_ == other.lo_ && width_ == other.width_ &&
+         counts_.size() == other.counts_.size();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (!compatible(other)) {
+    throw std::invalid_argument("Histogram::merge: incompatible bounds");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
 }  // namespace sealdl::util

@@ -68,6 +68,16 @@ class Histogram {
   /// returns `lo`.
   [[nodiscard]] double percentile(double p) const;
 
+  /// True when `other` has identical bounds and bucket count, so counts can
+  /// be summed without re-binning.
+  [[nodiscard]] bool compatible(const Histogram& other) const;
+
+  /// Adds `other`'s bucket counts into this histogram. Counts are integers,
+  /// so merging per-shard histograms is exact: shard-then-merge equals
+  /// recording every sample into one histogram, in any order. Throws
+  /// std::invalid_argument when the histograms are not compatible().
+  void merge(const Histogram& other);
+
  private:
   double lo_;
   double width_;

@@ -1,0 +1,68 @@
+// Fixed-size worker pool for coarse-grained task parallelism.
+//
+// Deliberately minimal — no work stealing, no task priorities: the workloads
+// this repo parallelizes (per-layer simulations, sweep points) are few and
+// large, so a single locked deque is never the bottleneck. Tasks return
+// futures; exceptions thrown inside a task propagate to whoever calls
+// future::get(), so callers keep ordinary error handling.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sealdl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least one).
+  explicit ThreadPool(int threads);
+
+  /// Completes every queued task, then joins the workers. Tasks must not
+  /// reference state that is destroyed before the pool (declare the pool
+  /// after whatever its tasks borrow).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns the future for its result. An exception
+  /// escaping `fn` is captured and rethrown by future::get().
+  template <typename Fn>
+  auto submit(Fn fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using Result = std::invoke_result_t<Fn&>;
+    // shared_ptr because std::function requires copyable callables and
+    // packaged_task is move-only.
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::move(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Maps a user-facing --jobs value to a worker count: positive values pass
+  /// through, 0 (and negatives) mean one worker per hardware thread.
+  static int resolve_jobs(int jobs);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace sealdl::util

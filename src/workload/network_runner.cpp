@@ -1,8 +1,14 @@
 #include "workload/network_runner.hpp"
 
+#include <algorithm>
+#include <future>
+#include <optional>
+#include <utility>
+
 #include "sim/gpu_simulator.hpp"
 #include "telemetry/collect.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/layer_trace.hpp"
 
 namespace sealdl::workload {
@@ -24,10 +30,79 @@ double NetworkResult::overall_ipc() const {
 
 namespace {
 
+/// Everything one layer's simulation produces. Telemetry is collected into
+/// task-private state (metrics fragment, layer-local sample series) so tasks
+/// never touch the shared RunTelemetry; the merge loop below folds the
+/// fragments back in spec order.
+struct LayerOutcome {
+  LayerResult result;
+  telemetry::MetricsRegistry metrics;
+  std::vector<telemetry::TimeSample> samples;
+};
+
+/// Simulates one laid-out layer. Reads only shared-immutable state (layout,
+/// secure map, config, options) plus its own simulator — safe to run from
+/// any thread, and bit-deterministic regardless of which thread runs it.
+LayerOutcome simulate_layer(const core::LayerAddressing& layer,
+                            const sim::GpuConfig& config,
+                            const sim::SecureMap& secure_map,
+                            const RunOptions& options, int num_warps,
+                            bool collect_metrics, sim::Cycle sample_interval) {
+  LayerWork work =
+      make_layer_programs(layer, num_warps, options.max_tiles_per_layer);
+  sim::GpuSimulator simulator(config, &secure_map);
+  simulator.load_work(std::move(work.programs));
+  // Private sampler at offset 0: samples carry layer-local cycles and are
+  // shifted onto the global timeline when the segments are spliced in order.
+  std::optional<telemetry::IntervalSampler> sampler;
+  if (sample_interval) {
+    sampler.emplace(sample_interval);
+    simulator.set_sampler(&*sampler);
+  }
+  simulator.run();
+
+  LayerOutcome outcome;
+  outcome.result.name = layer.spec.name;
+  outcome.result.stats = simulator.stats();
+  outcome.result.scale = work.scale();
+  if (collect_metrics) {
+    telemetry::collect_component_metrics(simulator, outcome.metrics);
+  }
+  if (sampler) outcome.samples = sampler->samples();
+  SEALDL_DEBUG << "layer " << outcome.result.name << ": "
+               << outcome.result.stats.cycles << " cycles, ipc "
+               << outcome.result.stats.ipc() << ", scale "
+               << outcome.result.scale;
+  return outcome;
+}
+
+/// Folds one layer's outcome into the run result and the shared telemetry
+/// sink. Called in spec order from the submitting thread only, so the sink
+/// sees the exact operation sequence of a serial run.
+void merge_outcome(LayerOutcome outcome, const sim::GpuConfig& config,
+                   telemetry::RunTelemetry* collect, NetworkResult& result) {
+  if (collect) {
+    if (auto* sampler = collect->sampler()) {
+      sampler->append_shifted(outcome.samples, collect->timeline());
+    }
+    collect->layers().push_back(telemetry::make_layer_record(
+        outcome.result.name, outcome.result.stats, config, outcome.result.scale,
+        collect->timeline()));
+    collect->registry().merge_from(outcome.metrics);
+    collect->registry()
+        .histogram("layer/latency_ms", 0.0, 100.0, 200)
+        .add(static_cast<double>(outcome.result.stats.cycles) *
+             outcome.result.scale / (config.core_mhz * 1e3));
+    collect->advance_timeline(outcome.result.stats.cycles);
+  }
+  result.layers.push_back(std::move(outcome.result));
+}
+
 NetworkResult run_specs(const std::vector<models::LayerSpec>& specs,
                         sim::GpuConfig config, const RunOptions& options) {
   // Build the address-space layout once; all schemes share addresses so that
-  // results are comparable line for line.
+  // results are comparable line for line. Layout, plan, and secure map are
+  // immutable from here on — layer tasks only read them.
   core::SecureHeap heap;
   core::EncryptionPlan plan;
   const core::EncryptionPlan* plan_ptr = nullptr;
@@ -47,36 +122,41 @@ NetworkResult run_specs(const std::vector<models::LayerSpec>& specs,
   NetworkResult result;
   const int num_warps = config.num_sms * config.warps_per_sm;
   telemetry::RunTelemetry* collect = options.telemetry;
+  const bool collect_metrics = collect != nullptr;
+  const sim::Cycle sample_interval =
+      collect && collect->sampler() ? collect->sampler()->interval() : 0;
+
+  const int jobs = options.jobs == 1 ? 1 : util::ThreadPool::resolve_jobs(options.jobs);
+  if (jobs <= 1 || indices.size() <= 1) {
+    for (const std::size_t idx : indices) {
+      merge_outcome(simulate_layer(layout.layers().at(idx), config,
+                                   heap.secure_map(), options, num_warps,
+                                   collect_metrics, sample_interval),
+                    config, collect, result);
+    }
+    return result;
+  }
+
+  // The pool is declared after layout/heap so that, if a merge rethrows a
+  // task exception, its destructor drains in-flight tasks while everything
+  // they borrow is still alive.
+  util::ThreadPool pool(
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(jobs),
+                                             indices.size())));
+  std::vector<std::future<LayerOutcome>> futures;
+  futures.reserve(indices.size());
   for (const std::size_t idx : indices) {
-    const auto& layer = layout.layers().at(idx);
-    LayerWork work =
-        make_layer_programs(layer, num_warps, options.max_tiles_per_layer);
-    sim::GpuSimulator simulator(config, &heap.secure_map());
-    simulator.load_work(std::move(work.programs));
-    if (collect) {
-      if (auto* sampler = collect->sampler()) {
-        sampler->begin_segment(collect->timeline());
-        simulator.set_sampler(sampler);
-      }
-    }
-    simulator.run();
-    LayerResult lr;
-    lr.name = layer.spec.name;
-    lr.stats = simulator.stats();
-    lr.scale = work.scale();
-    SEALDL_DEBUG << "layer " << lr.name << ": " << lr.stats.cycles
-                 << " cycles, ipc " << lr.stats.ipc() << ", scale " << lr.scale;
-    if (collect) {
-      collect->layers().push_back(telemetry::make_layer_record(
-          lr.name, lr.stats, config, lr.scale, collect->timeline()));
-      telemetry::collect_component_metrics(simulator, collect->registry());
-      collect->registry()
-          .histogram("layer/latency_ms", 0.0, 100.0, 200)
-          .add(static_cast<double>(lr.stats.cycles) * lr.scale /
-               (config.core_mhz * 1e3));
-      collect->advance_timeline(lr.stats.cycles);
-    }
-    result.layers.push_back(std::move(lr));
+    futures.push_back(pool.submit([&layout, &config, &heap, &options, num_warps,
+                                   collect_metrics, sample_interval, idx] {
+      return simulate_layer(layout.layers().at(idx), config, heap.secure_map(),
+                            options, num_warps, collect_metrics,
+                            sample_interval);
+    }));
+  }
+  // Merge strictly in submission (= spec) order; get() rethrows the first
+  // task exception to the caller.
+  for (auto& future : futures) {
+    merge_outcome(future.get(), config, collect, result);
   }
   return result;
 }

@@ -49,6 +49,14 @@ struct RunOptions {
   /// metrics, and (when its sampler is configured) time series. Null — the
   /// default — collects nothing and leaves simulation cycle-identical.
   telemetry::RunTelemetry* telemetry = nullptr;
+  /// Worker threads for the per-layer simulations: 1 (default) runs the
+  /// serial loop, 0 uses one worker per hardware thread, N > 1 uses N
+  /// workers. Layers are independent GpuSimulator instances over the shared
+  /// read-only layout/plan/secure-map, and results and telemetry are merged
+  /// back in spec order — the output is bitwise-identical to jobs = 1
+  /// regardless of worker count or scheduling (see docs/SIMULATOR.md,
+  /// "Parallel layer simulation").
+  int jobs = 1;
 };
 
 /// Simulates one network described by `specs` under `config`.

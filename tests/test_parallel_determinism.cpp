@@ -1,0 +1,188 @@
+// Golden harness for parallel layer-level simulation: run_network with
+// jobs=4 must be *bitwise*-identical to jobs=1 — stats, per-layer phase
+// records, metrics registry, and the sampled time series — across three
+// networks and two encryption ratios, and the shared plan/layout the
+// parallel run simulates must stay sealdl-check clean. Also regression-tests
+// that two runners executing concurrently do not perturb each other.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "models/layer_spec.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
+#include "verify/checker.hpp"
+#include "workload/network_runner.hpp"
+
+namespace sealdl::workload {
+namespace {
+
+// Small but real: every layer of each network is simulated (capped tiles),
+// so the goldens cover CONV, POOL, FC, and residual topologies.
+constexpr int kInput = 32;
+constexpr std::uint64_t kTiles = 24;
+constexpr sim::Cycle kSampleInterval = 2000;
+
+std::vector<models::LayerSpec> specs_for(const std::string& net) {
+  if (net == "vgg16") return models::vgg16_specs(kInput);
+  if (net == "resnet18") return models::resnet18_specs(kInput);
+  return models::resnet34_specs(kInput);
+}
+
+struct SimRun {
+  NetworkResult result;
+  telemetry::RunTelemetry telemetry;
+
+  SimRun() : telemetry(telemetry::TelemetryOptions{kSampleInterval}) {}
+};
+
+SimRun run_with_jobs(const std::vector<models::LayerSpec>& specs, double ratio,
+                  int jobs) {
+  sim::GpuConfig config = sim::GpuConfig::gtx480();
+  config.scheme = sim::EncryptionScheme::kDirect;
+  RunOptions options;
+  options.max_tiles_per_layer = kTiles;
+  options.selective = true;
+  options.plan.encryption_ratio = ratio;
+  options.jobs = jobs;
+  SimRun run;
+  options.telemetry = &run.telemetry;
+  run.result = run_network(specs, config, options);
+  return run;
+}
+
+std::string registry_json(const telemetry::RunTelemetry& telemetry) {
+  util::JsonWriter json;
+  telemetry.registry().write_json(json);
+  return json.str();
+}
+
+void expect_stats_identical(const sim::SimStats& a, const sim::SimStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.warp_instructions, b.warp_instructions);
+  EXPECT_EQ(a.thread_instructions, b.thread_instructions);
+  EXPECT_EQ(a.l2_hits, b.l2_hits);
+  EXPECT_EQ(a.l2_misses, b.l2_misses);
+  EXPECT_EQ(a.dram_read_bytes, b.dram_read_bytes);
+  EXPECT_EQ(a.dram_write_bytes, b.dram_write_bytes);
+  EXPECT_EQ(a.encrypted_bytes, b.encrypted_bytes);
+  EXPECT_EQ(a.bypassed_bytes, b.bypassed_bytes);
+  EXPECT_EQ(a.aes_busy_cycles, b.aes_busy_cycles);      // exact ==, no tolerance
+  EXPECT_EQ(a.dram_busy_cycles, b.dram_busy_cycles);
+  EXPECT_EQ(a.counter_hits, b.counter_hits);
+  EXPECT_EQ(a.counter_misses, b.counter_misses);
+  EXPECT_EQ(a.counter_traffic_bytes, b.counter_traffic_bytes);
+}
+
+void expect_runs_identical(const SimRun& serial, const SimRun& parallel) {
+  ASSERT_EQ(serial.result.layers.size(), parallel.result.layers.size());
+  for (std::size_t i = 0; i < serial.result.layers.size(); ++i) {
+    const auto& a = serial.result.layers[i];
+    const auto& b = parallel.result.layers[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.scale, b.scale);
+    expect_stats_identical(a.stats, b.stats);
+  }
+  EXPECT_EQ(serial.result.total_cycles(), parallel.result.total_cycles());
+  EXPECT_EQ(serial.result.overall_ipc(), parallel.result.overall_ipc());
+
+  // Telemetry: phase records field by field.
+  const auto& la = serial.telemetry.layers();
+  const auto& lb = parallel.telemetry.layers();
+  ASSERT_EQ(la.size(), lb.size());
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].name, lb[i].name);
+    EXPECT_EQ(la[i].start_cycle, lb[i].start_cycle);
+    EXPECT_EQ(la[i].sim_cycles, lb[i].sim_cycles);
+    EXPECT_EQ(la[i].scale, lb[i].scale);
+    EXPECT_EQ(la[i].full_cycles, lb[i].full_cycles);
+    EXPECT_EQ(la[i].ipc, lb[i].ipc);
+    EXPECT_EQ(la[i].thread_instructions, lb[i].thread_instructions);
+    EXPECT_EQ(la[i].dram_bytes, lb[i].dram_bytes);
+    EXPECT_EQ(la[i].encrypted_bytes, lb[i].encrypted_bytes);
+    EXPECT_EQ(la[i].bypassed_bytes, lb[i].bypassed_bytes);
+    EXPECT_EQ(la[i].encrypted_fraction, lb[i].encrypted_fraction);
+    EXPECT_EQ(la[i].dram_util, lb[i].dram_util);
+    EXPECT_EQ(la[i].aes_util, lb[i].aes_util);
+    EXPECT_EQ(la[i].l2_hit_rate, lb[i].l2_hit_rate);
+    EXPECT_EQ(la[i].bound, lb[i].bound);
+  }
+  EXPECT_EQ(serial.telemetry.timeline(), parallel.telemetry.timeline());
+
+  // Metrics registry: the serialized document is the byte-exact golden.
+  EXPECT_EQ(registry_json(serial.telemetry), registry_json(parallel.telemetry));
+
+  // Time series: identical sample count, positions, and values.
+  const auto* sa = serial.telemetry.sampler();
+  const auto* sb = parallel.telemetry.sampler();
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  ASSERT_EQ(sa->samples().size(), sb->samples().size());
+  for (std::size_t i = 0; i < sa->samples().size(); ++i) {
+    EXPECT_EQ(sa->samples()[i].cycle, sb->samples()[i].cycle);
+    EXPECT_EQ(sa->samples()[i].ipc, sb->samples()[i].ipc);
+    EXPECT_EQ(sa->samples()[i].dram_util, sb->samples()[i].dram_util);
+    EXPECT_EQ(sa->samples()[i].aes_util, sb->samples()[i].aes_util);
+    EXPECT_EQ(sa->samples()[i].dram_bytes, sb->samples()[i].dram_bytes);
+  }
+}
+
+void expect_check_clean(const std::vector<models::LayerSpec>& specs,
+                        double ratio) {
+  verify::BuildOptions options;
+  options.plan.encryption_ratio = ratio;
+  options.selective = true;
+  const auto input = verify::build_input(specs, options);
+  const auto report = verify::run_checkers(input, verify::default_checkers());
+  EXPECT_EQ(report.error_count(), 0u) << report.to_text();
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(ParallelDeterminism, ParallelRunMatchesSerialBitwise) {
+  const auto& [net, ratio] = GetParam();
+  const auto specs = specs_for(net);
+  const SimRun serial = run_with_jobs(specs, ratio, /*jobs=*/1);
+  const SimRun parallel = run_with_jobs(specs, ratio, /*jobs=*/4);
+  expect_runs_identical(serial, parallel);
+  // The shared plan/layout every layer task reads is analyzer-clean.
+  expect_check_clean(specs, ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NetworksAndRatios, ParallelDeterminism,
+    ::testing::Combine(::testing::Values("vgg16", "resnet18", "resnet34"),
+                       ::testing::Values(0.5, 1.0)),
+    [](const ::testing::TestParamInfo<ParallelDeterminism::ParamType>& info) {
+      const std::string ratio =
+          std::get<1>(info.param) == 0.5 ? "ratio05" : "ratio10";
+      return std::string(std::get<0>(info.param)) + "_" + ratio;
+    });
+
+// Regression: runners executing concurrently (each itself parallel) must not
+// perturb each other — no hidden global RNG streams, logger buffers, or
+// registry state shared between run_network calls.
+TEST(ConcurrentRunners, IndependentRunsDoNotInterfere) {
+  const auto vgg = models::vgg16_specs(kInput);
+  const auto resnet = models::resnet18_specs(kInput);
+
+  const SimRun vgg_alone = run_with_jobs(vgg, 0.5, /*jobs=*/2);
+  const SimRun resnet_alone = run_with_jobs(resnet, 1.0, /*jobs=*/2);
+
+  auto vgg_future = std::async(std::launch::async, [&] {
+    return run_with_jobs(vgg, 0.5, /*jobs=*/2);
+  });
+  auto resnet_future = std::async(std::launch::async, [&] {
+    return run_with_jobs(resnet, 1.0, /*jobs=*/2);
+  });
+  const SimRun vgg_concurrent = vgg_future.get();
+  const SimRun resnet_concurrent = resnet_future.get();
+
+  expect_runs_identical(vgg_alone, vgg_concurrent);
+  expect_runs_identical(resnet_alone, resnet_concurrent);
+}
+
+}  // namespace
+}  // namespace sealdl::workload

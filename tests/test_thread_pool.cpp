@@ -1,0 +1,110 @@
+// util::ThreadPool: result ordering, exception propagation, reuse across
+// submission waves, and the jobs-resolution helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace sealdl::util {
+namespace {
+
+TEST(ThreadPool, FuturesArriveInSubmissionOrder) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  // Whatever order the workers ran them in, the futures map results back to
+  // their submissions.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task and keeps serving.
+  EXPECT_EQ(pool.submit([] { return 11; }).get(), 11);
+}
+
+TEST(ThreadPool, ReusableAcrossSubmissionWaves) {
+  ThreadPool pool(3);
+  std::uint64_t total = 0;
+  for (int wave = 0; wave < 4; ++wave) {
+    std::vector<std::future<std::uint64_t>> futures;
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      futures.push_back(pool.submit([i] { return i + 1; }));
+    }
+    for (auto& future : futures) total += future.get();
+  }
+  EXPECT_EQ(total, 4u * (16u * 17u / 2u));
+}
+
+TEST(ThreadPool, SingleWorkerDegeneratesToSerialOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  // With one worker, tasks execute strictly in submission order.
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& future : futures) future.get();
+  std::vector<int> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, WorkerCountClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+    // Drop the futures on the floor; destruction must still run every task.
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ResolveJobsMapsZeroToHardwareConcurrency) {
+  EXPECT_EQ(ThreadPool::resolve_jobs(1), 1);
+  EXPECT_EQ(ThreadPool::resolve_jobs(6), 6);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int expected = hw ? static_cast<int>(hw) : 1;
+  EXPECT_EQ(ThreadPool::resolve_jobs(0), expected);
+  EXPECT_EQ(ThreadPool::resolve_jobs(-3), expected);
+}
+
+TEST(ThreadPool, TasksRunOffTheSubmittingThread) {
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  const auto worker =
+      pool.submit([] { return std::this_thread::get_id(); }).get();
+  EXPECT_NE(worker, caller);
+}
+
+}  // namespace
+}  // namespace sealdl::util

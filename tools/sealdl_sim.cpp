@@ -4,7 +4,7 @@
 // configuration and prints the detailed statistics the bench binaries
 // aggregate away. Intended for interactive exploration:
 //
-//   sealdl-sim --workload vgg16 --scheme seal-d --ratio 0.5
+//   sealdl-sim --workload vgg16 --scheme seal-d --ratio 0.5 --jobs 4
 //   sealdl-sim --workload conv --in-ch 256 --out-ch 256 --hw 56 --scheme counter
 //   sealdl-sim --workload gemm --dim 1024 --scheme direct --engine-gbps 16
 //   sealdl-sim --workload pool --in-ch 64 --hw 224 --scheme seal-c --split-counters
@@ -118,6 +118,9 @@ int run(int argc, char** argv) {
   options.selective = choice.selective;
   options.plan.encryption_ratio = ratio;
   options.telemetry = collect.get();
+  // Parallel per-layer simulation (0 = one worker per hardware thread).
+  // Results are bitwise-identical to --jobs 1.
+  options.jobs = static_cast<int>(flags.get_int("jobs", 1));
   const bool single_layer =
       workload == "conv" || workload == "pool" || workload == "fc";
   if (single_layer) {
