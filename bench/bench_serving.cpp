@@ -1,0 +1,158 @@
+// Serving bench: batched inference latency/throughput under offered load x
+// encryption scheme, emitted as BENCH_serving.json.
+//
+//   ./bench_serving [--tiles 240] [--ratio 0.5] [--duration 0.2] \
+//       [--batch 4] [--queue-depth 16] [--policy drop] [--jobs 1] \
+//       [--out BENCH_serving.json]
+//
+// The sweep holds the arrival schedule fixed per rate (same seed for every
+// scheme) so latency differences are purely the encryption configuration's
+// service-time cost. The SEAL sanity gate mirrors the paper's headline: at
+// the 50% ratio, SEAL-D service time must land strictly between Baseline
+// and Direct.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+
+namespace sealdl {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  util::CliFlags flags(argc, argv);
+  const auto tiles = static_cast<std::uint64_t>(flags.get_int("tiles", 240));
+  const double ratio = flags.get_double("ratio", 0.5);
+  const double duration = flags.get_double("duration", 0.2);
+  const int max_batch = static_cast<int>(flags.get_int("batch", 4));
+  const auto queue_depth =
+      static_cast<std::size_t>(flags.get_int("queue-depth", 16));
+  const std::string policy_name = flags.get("policy", "drop");
+  const int jobs = bench::jobs_from_flags(flags);
+  const std::string out = flags.get("out", "BENCH_serving.json");
+
+  bench::banner("Serving — offered load x scheme (VGG-16, open-loop Poisson)",
+                "encryption inflates service time, so the same offered load "
+                "drives higher latency percentiles and earlier overload; "
+                "SEAL p=50% must land between Baseline and Direct");
+
+  const std::vector<double> rates = {10.0, 40.0, 160.0};
+  const auto schemes = bench::five_schemes();
+
+  serve::ServeOptions serve_options;
+  serve_options.duration_s = duration;
+  serve_options.queue_depth = queue_depth;
+  serve_options.max_batch = max_batch;
+  serve_options.policy = serve::parse_policy(policy_name);
+
+  struct Cell {
+    double rate;
+    serve::ServeReport report;
+  };
+  struct Row {
+    std::string scheme;
+    double service_ms_b1;  ///< batch-1 inference latency in ms
+    std::vector<Cell> cells;
+  };
+  std::vector<Row> rows;
+
+  util::Table table({"scheme", "rate req/s", "p50 ms", "p95 ms", "p99 ms",
+                     "throughput", "drop rate", "mean batch"});
+  for (const auto& scheme : schemes) {
+    const sim::GpuConfig config = bench::configure(scheme);
+    workload::RunOptions options;
+    options.max_tiles_per_layer = tiles;
+    options.selective = scheme.selective;
+    options.plan = bench::default_plan();
+    options.plan.encryption_ratio = ratio;
+
+    const serve::ServiceModel model({serve::named_network("vgg16")}, config,
+                                    options, max_batch, jobs, nullptr);
+    Row row;
+    row.scheme = scheme.name;
+    row.service_ms_b1 =
+        model.service_cycles(0, 1) / (config.core_mhz * 1e3);
+    for (const double rate : rates) {
+      serve::ServeOptions cell_options = serve_options;
+      cell_options.rate_rps = rate;
+      Cell cell{rate, serve::run_server(model, cell_options, config, nullptr)};
+      table.add_row({scheme.name, util::Table::fmt(rate, 0),
+                     util::Table::fmt(cell.report.p50_ms, 1),
+                     util::Table::fmt(cell.report.p95_ms, 1),
+                     util::Table::fmt(cell.report.p99_ms, 1),
+                     util::Table::fmt(cell.report.throughput_rps, 1),
+                     util::Table::pct(cell.report.drop_rate),
+                     util::Table::fmt(cell.report.mean_batch, 2)});
+      row.cells.push_back(std::move(cell));
+    }
+    rows.push_back(std::move(row));
+  }
+  table.print();
+
+  // SEAL sanity gate (acceptance criterion): the 50%-ratio SEAL-D service
+  // time must land strictly between Baseline and full Direct.
+  const double base_ms = rows[0].service_ms_b1;    // Baseline
+  const double direct_ms = rows[1].service_ms_b1;  // Direct
+  const double seal_ms = rows[3].service_ms_b1;    // SEAL-D
+  std::printf("\nbatch-1 service: baseline %.2f ms, seal-d %.2f ms, direct %.2f ms\n",
+              base_ms, seal_ms, direct_ms);
+  if (!(base_ms < seal_ms && seal_ms < direct_ms)) {
+    std::fprintf(stderr,
+                 "error: SEAL-D service time not between Baseline and Direct\n");
+    return 1;
+  }
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "bench_serving");
+  json.field("workload", "vgg16 serving, open-loop poisson");
+  json.field("tiles", static_cast<std::uint64_t>(tiles));
+  json.field("ratio", ratio);
+  json.field("duration_s", duration);
+  json.field("queue_depth", static_cast<std::uint64_t>(queue_depth));
+  json.field("max_batch", max_batch);
+  json.field("policy", policy_name);
+  json.key("seal_check").begin_object();
+  json.field("baseline_ms", base_ms);
+  json.field("seal_d_ms", seal_ms);
+  json.field("direct_ms", direct_ms);
+  json.field("between", base_ms < seal_ms && seal_ms < direct_ms);
+  json.end_object();
+  json.key("schemes").begin_array();
+  for (const Row& row : rows) {
+    json.begin_object();
+    json.field("scheme", row.scheme);
+    json.field("service_ms_b1", row.service_ms_b1);
+    json.key("cells").begin_array();
+    for (const Cell& cell : row.cells) {
+      json.begin_object();
+      json.field("rate_rps", cell.rate);
+      json.field("generated", cell.report.generated);
+      json.field("completed", cell.report.completed);
+      json.field("dropped", cell.report.dropped);
+      json.field("shed", cell.report.shed);
+      json.field("batches", cell.report.batches);
+      json.field("mean_batch", cell.report.mean_batch);
+      json.field("p50_ms", cell.report.p50_ms);
+      json.field("p95_ms", cell.report.p95_ms);
+      json.field("p99_ms", cell.report.p99_ms);
+      json.field("throughput_rps", cell.report.throughput_rps);
+      json.field("drop_rate", cell.report.drop_rate);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  telemetry::write_text_file(out, json.str());
+  std::printf("wrote %s\n", out.c_str());
+
+  bench::check_flags(flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sealdl
+
+int main(int argc, char** argv) { return sealdl::main_impl(argc, argv); }

@@ -1,0 +1,60 @@
+#include "serve/admission_queue.hpp"
+
+#include <algorithm>
+
+namespace sealdl::serve {
+
+std::optional<Request> AdmissionQueue::offer(const Request& request) {
+  ++offered_;
+  if (queue_.size() < depth_ && backlog_.empty()) {
+    queue_.push_back(request);
+    ++admitted_;
+    return std::nullopt;
+  }
+  switch (policy_) {
+    case OverloadPolicy::kDrop:
+      ++dropped_;
+      return std::nullopt;
+    case OverloadPolicy::kBlock:
+      backlog_.push_back(request);
+      ++blocked_;
+      peak_backlog_ = std::max(peak_backlog_, backlog_.size());
+      return std::nullopt;
+    case OverloadPolicy::kShedOldest: {
+      Request oldest = queue_.front();
+      queue_.pop_front();
+      ++shed_;
+      queue_.push_back(request);
+      ++admitted_;
+      return oldest;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Request> AdmissionQueue::pop_batch(int max_batch) {
+  std::vector<Request> batch;
+  if (queue_.empty()) return batch;
+  const int network = queue_.front().network;
+  const auto limit = static_cast<std::size_t>(std::max(1, max_batch));
+  for (auto it = queue_.begin(); it != queue_.end() && batch.size() < limit;) {
+    if (it->network == network) {
+      batch.push_back(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  refill_from_backlog();
+  return batch;
+}
+
+void AdmissionQueue::refill_from_backlog() {
+  while (queue_.size() < depth_ && !backlog_.empty()) {
+    queue_.push_back(backlog_.front());
+    backlog_.pop_front();
+    ++admitted_;
+  }
+}
+
+}  // namespace sealdl::serve

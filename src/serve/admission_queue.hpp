@@ -1,0 +1,68 @@
+// Bounded admission queue with a configurable overload policy.
+//
+// The queue holds requests waiting for the device. When an arrival finds it
+// full, the OverloadPolicy decides: drop the newcomer, park it in an
+// unbounded backlog (block — the open-loop analogue of a blocking client:
+// the request keeps its arrival timestamp, so its eventual latency includes
+// the time spent blocked), or shed the oldest queued request. Every outcome
+// is counted so the serving report can state exactly where offered load
+// went.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/options.hpp"
+#include "serve/request_gen.hpp"
+
+namespace sealdl::serve {
+
+class AdmissionQueue {
+ public:
+  AdmissionQueue(std::size_t depth, OverloadPolicy policy)
+      : depth_(depth), policy_(policy) {}
+
+  /// Applies the overload policy to one arrival. Returns the request shed to
+  /// make room, if any (shed-oldest on a full queue).
+  std::optional<Request> offer(const Request& request);
+
+  /// Pops the front request plus up to `max_batch - 1` further queued
+  /// requests for the same network (FIFO across the queue; non-matching
+  /// requests keep their positions). Backlogged requests then refill the
+  /// freed slots in arrival order. Empty result iff the queue is empty.
+  std::vector<Request> pop_batch(int max_batch);
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  /// Oldest queued request (the next dispatch anchor); queue must be
+  /// non-empty.
+  [[nodiscard]] const Request& front() const { return queue_.front(); }
+  [[nodiscard]] std::size_t backlog_size() const { return backlog_.size(); }
+
+  // Accounting (all since construction).
+  [[nodiscard]] std::uint64_t offered() const { return offered_; }
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t shed() const { return shed_; }
+  [[nodiscard]] std::uint64_t blocked() const { return blocked_; }
+  [[nodiscard]] std::size_t peak_backlog() const { return peak_backlog_; }
+
+ private:
+  void refill_from_backlog();
+
+  std::size_t depth_;
+  OverloadPolicy policy_;
+  std::deque<Request> queue_;
+  std::deque<Request> backlog_;  ///< block policy only
+
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t blocked_ = 0;
+  std::size_t peak_backlog_ = 0;
+};
+
+}  // namespace sealdl::serve

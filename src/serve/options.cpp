@@ -1,0 +1,24 @@
+#include "serve/options.hpp"
+
+#include <stdexcept>
+
+namespace sealdl::serve {
+
+const char* policy_name(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kDrop: return "drop";
+    case OverloadPolicy::kBlock: return "block";
+    case OverloadPolicy::kShedOldest: return "shed-oldest";
+  }
+  return "?";
+}
+
+OverloadPolicy parse_policy(const std::string& name) {
+  if (name == "drop") return OverloadPolicy::kDrop;
+  if (name == "block") return OverloadPolicy::kBlock;
+  if (name == "shed-oldest") return OverloadPolicy::kShedOldest;
+  throw std::invalid_argument("unknown --policy " + name +
+                              " (drop|block|shed-oldest)");
+}
+
+}  // namespace sealdl::serve

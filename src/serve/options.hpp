@@ -1,0 +1,45 @@
+// Configuration for the batched inference serving simulation (src/serve).
+//
+// Everything here is in simulated time: arrival timestamps are core cycles
+// derived from --rate (requests per second at the configured core clock) via
+// a seeded util::Rng — no wall clock anywhere, so a serve run is a pure
+// function of (options, model profile) and replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sealdl::serve {
+
+/// What the admission queue does with an arrival when it is already full.
+enum class OverloadPolicy {
+  kDrop,       ///< reject the new request (counted in serve/dropped)
+  kBlock,      ///< park it in an unbounded backlog; it enters the queue when
+               ///< a slot frees, keeping its original arrival timestamp
+  kShedOldest, ///< evict the oldest queued request to make room (serve/shed)
+};
+
+const char* policy_name(OverloadPolicy policy);
+
+/// Parses "drop" | "block" | "shed-oldest"; throws std::invalid_argument.
+OverloadPolicy parse_policy(const std::string& name);
+
+struct ServeOptions {
+  /// Mean offered load in requests per second of simulated time (open-loop
+  /// Poisson process: exponential inter-arrival gaps).
+  double rate_rps = 20.0;
+  /// Length of the arrival window in simulated seconds. Requests already
+  /// admitted when the window closes are still served to completion.
+  double duration_s = 1.0;
+  /// Admission queue capacity (requests waiting for the device).
+  std::size_t queue_depth = 32;
+  /// Largest batch one dispatch may carry (>= 1).
+  int max_batch = 4;
+  OverloadPolicy policy = OverloadPolicy::kDrop;
+  /// Seed for the arrival process (gap lengths and network choices).
+  std::uint64_t seed = 1;
+  /// Fixed cycles charged per dispatch (kernel launch, batch assembly).
+  double dispatch_overhead_cycles = 20000.0;
+};
+
+}  // namespace sealdl::serve

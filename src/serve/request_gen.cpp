@@ -1,0 +1,40 @@
+#include "serve/request_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace sealdl::serve {
+
+std::vector<Request> generate_requests(const ServeOptions& options,
+                                       int num_networks, double core_mhz) {
+  if (num_networks <= 0) throw std::invalid_argument("no networks to serve");
+  if (options.rate_rps <= 0.0) {
+    throw std::invalid_argument("--rate must be > 0");
+  }
+  const double cycles_per_second = core_mhz * 1e6;
+  const double mean_gap_cycles = cycles_per_second / options.rate_rps;
+  const double horizon = options.duration_s * cycles_per_second;
+
+  util::Rng rng(options.seed);
+  std::vector<Request> requests;
+  double clock = 0.0;
+  for (;;) {
+    // Exponential gap; 1 - u keeps log() away from 0. At least one cycle so
+    // ids and arrival order stay aligned even at absurd rates.
+    const double u = rng.next_double();
+    clock += std::max(1.0, -std::log(1.0 - u) * mean_gap_cycles);
+    if (clock >= horizon) break;
+    Request request;
+    request.id = static_cast<std::uint64_t>(requests.size());
+    request.network =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_networks)));
+    request.arrival = static_cast<sim::Cycle>(clock);
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+}  // namespace sealdl::serve

@@ -1,0 +1,31 @@
+// Seeded open-loop request generator.
+//
+// Produces the full arrival schedule up front: a Poisson-like process whose
+// exponential inter-arrival gaps and per-request network choices are drawn
+// from one util::Rng stream. Pre-generating (rather than drawing inside the
+// serving loop) means the offered load is identical across queue depths,
+// policies, and --jobs values — only the serving behaviour differs, which is
+// what the determinism gate compares.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/options.hpp"
+#include "sim/request.hpp"
+
+namespace sealdl::serve {
+
+struct Request {
+  std::uint64_t id = 0;      ///< arrival order, 0-based
+  int network = 0;           ///< index into the ServiceModel's networks
+  sim::Cycle arrival = 0;    ///< cycle the request reaches the server
+};
+
+/// Generates all arrivals in [0, duration_s) at `core_mhz` cycles per
+/// microsecond. Requests are returned in arrival order; network indices are
+/// uniform over [0, num_networks).
+std::vector<Request> generate_requests(const ServeOptions& options,
+                                       int num_networks, double core_mhz);
+
+}  // namespace sealdl::serve

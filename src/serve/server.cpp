@@ -1,0 +1,162 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "serve/admission_queue.hpp"
+#include "telemetry/phase.hpp"
+#include "util/stats.hpp"
+
+namespace sealdl::serve {
+
+namespace {
+
+// Latency histogram bounds: 5 ms resolution up to 10 s. Saturated tails are
+// visible through the exported overflow count (Histogram::percentile clamps
+// to hi by contract).
+constexpr double kLatencyHistMs = 10000.0;
+constexpr std::size_t kLatencyBuckets = 2000;
+
+/// Annotates one dispatched batch as a phase record so the Perfetto trace
+/// and the run report's layer array show the serving timeline.
+telemetry::LayerPhaseRecord batch_record(const ServiceModel& model,
+                                         const BatchRecord& batch) {
+  const ServiceModel::Aggregate& aggregate = model.aggregate(batch.network);
+  const double b = static_cast<double>(batch.size);
+  telemetry::LayerPhaseRecord record;
+  record.name =
+      "serve/" + model.name(batch.network) + "x" + std::to_string(batch.size);
+  record.start_cycle = batch.start;
+  record.sim_cycles = static_cast<sim::Cycle>(batch.cycles);
+  record.scale = 1.0;
+  record.full_cycles = batch.cycles;
+  record.thread_instructions =
+      static_cast<std::uint64_t>(aggregate.instructions * b);
+  record.ipc = batch.cycles > 0.0
+                   ? aggregate.instructions * b / batch.cycles
+                   : 0.0;
+  record.dram_bytes = static_cast<std::uint64_t>(aggregate.dram_bytes * b);
+  record.encrypted_bytes =
+      static_cast<std::uint64_t>(aggregate.encrypted_bytes * b);
+  record.bypassed_bytes =
+      static_cast<std::uint64_t>(aggregate.bypassed_bytes * b);
+  record.encrypted_fraction =
+      aggregate.dram_bytes > 0.0
+          ? aggregate.encrypted_bytes / aggregate.dram_bytes
+          : 0.0;
+  record.dram_util = aggregate.dram_util;
+  record.aes_util = aggregate.aes_util;
+  record.bound = telemetry::classify_bound(record.dram_util, record.aes_util);
+  return record;
+}
+
+}  // namespace
+
+ServeReport run_server(const ServiceModel& model, const ServeOptions& options,
+                       const sim::GpuConfig& config,
+                       telemetry::RunTelemetry* collect) {
+  const std::vector<Request> arrivals =
+      generate_requests(options, model.count(), config.core_mhz);
+  AdmissionQueue queue(options.queue_depth, options.policy);
+
+  const double ms_per_cycle = 1.0 / (config.core_mhz * 1e3);
+  util::Histogram latency_ms(0.0, kLatencyHistMs, kLatencyBuckets);
+  util::Histogram queue_ms(0.0, kLatencyHistMs, kLatencyBuckets);
+  util::RunningStats queue_wait;
+
+  ServeReport report;
+  report.generated = arrivals.size();
+
+  double device_free = 0.0;
+  std::size_t next = 0;
+  while (next < arrivals.size() || !queue.empty()) {
+    if (queue.empty()) {
+      queue.offer(arrivals[next]);
+      ++next;
+      continue;
+    }
+    // The device dispatches when it is free and has work; every arrival at
+    // or before that instant is offered first (shedding may replace the
+    // front and push the dispatch later, so re-anchor until stable).
+    double start =
+        std::max(device_free, static_cast<double>(queue.front().arrival));
+    while (next < arrivals.size() &&
+           static_cast<double>(arrivals[next].arrival) <= start) {
+      queue.offer(arrivals[next]);
+      ++next;
+      start = std::max(device_free, static_cast<double>(queue.front().arrival));
+    }
+
+    const std::vector<Request> batch = queue.pop_batch(options.max_batch);
+    const int network = batch.front().network;
+    const double service =
+        options.dispatch_overhead_cycles +
+        model.service_cycles(network, static_cast<int>(batch.size()));
+
+    for (const Request& request : batch) {
+      const double wait = start - static_cast<double>(request.arrival);
+      latency_ms.add((wait + service) * ms_per_cycle);
+      queue_ms.add(wait * ms_per_cycle);
+      queue_wait.add(wait * ms_per_cycle);
+    }
+    report.completed += batch.size();
+    ++report.batches;
+
+    BatchRecord record;
+    record.network = network;
+    record.size = static_cast<int>(batch.size());
+    record.start = static_cast<sim::Cycle>(start);
+    record.cycles = service;
+    report.batch_log.push_back(record);
+    if (collect) collect->layers().push_back(batch_record(model, record));
+
+    device_free = start + service;
+  }
+
+  report.dropped = queue.dropped();
+  report.shed = queue.shed();
+  report.blocked = queue.blocked();
+  report.peak_backlog = queue.peak_backlog();
+  report.end_cycle = static_cast<sim::Cycle>(device_free);
+  report.mean_batch =
+      report.batches
+          ? static_cast<double>(report.completed) / static_cast<double>(report.batches)
+          : 0.0;
+  report.p50_ms = latency_ms.percentile(50.0);
+  report.p95_ms = latency_ms.percentile(95.0);
+  report.p99_ms = latency_ms.percentile(99.0);
+  report.mean_queue_ms = queue_wait.mean();
+  const double seconds =
+      static_cast<double>(report.end_cycle) / (config.core_mhz * 1e6);
+  report.throughput_rps =
+      seconds > 0.0 ? static_cast<double>(report.completed) / seconds : 0.0;
+  report.drop_rate =
+      report.generated
+          ? static_cast<double>(report.dropped + report.shed) /
+                static_cast<double>(report.generated)
+          : 0.0;
+
+  if (collect) {
+    telemetry::MetricsRegistry& registry = collect->registry();
+    registry.counter("serve/generated").add(report.generated);
+    registry.counter("serve/completed").add(report.completed);
+    registry.counter("serve/dropped").add(report.dropped);
+    registry.counter("serve/shed").add(report.shed);
+    registry.counter("serve/blocked").add(report.blocked);
+    registry.counter("serve/batches").add(report.batches);
+    registry.gauge("serve/mean_batch").add(report.mean_batch);
+    registry.gauge("serve/throughput_rps").add(report.throughput_rps);
+    registry.gauge("serve/drop_rate").add(report.drop_rate);
+    registry.gauge("serve/mean_queue_ms").add(report.mean_queue_ms);
+    registry
+        .histogram("serve/latency_ms", 0.0, kLatencyHistMs, kLatencyBuckets)
+        .merge(latency_ms);
+    registry
+        .histogram("serve/queue_ms", 0.0, kLatencyHistMs, kLatencyBuckets)
+        .merge(queue_ms);
+  }
+  return report;
+}
+
+}  // namespace sealdl::serve

@@ -1,0 +1,65 @@
+// Deterministic batched-inference serving loop.
+//
+// Single-threaded discrete-event simulation over two event sources: the
+// pre-generated arrival schedule and device completions. The device serves
+// one batch at a time; at each dispatch the scheduler groups up to
+// --batch queued requests for the front request's network (FIFO otherwise)
+// and charges the ServiceModel's batch-B latency plus a fixed dispatch
+// overhead. Per-request latency (queue wait + service) feeds
+// util::Histogram percentiles; all queue/overload accounting lands in the
+// telemetry registry so the standard JSON run report and Perfetto trace
+// carry the serving view. Simulation parallelism (--jobs) lives entirely in
+// the ServiceModel profiling stage — the loop itself is sequential and
+// replays bit-identically for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/options.hpp"
+#include "serve/request_gen.hpp"
+#include "serve/service_model.hpp"
+#include "sim/gpu_config.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace sealdl::serve {
+
+struct BatchRecord {
+  int network = 0;
+  int size = 0;
+  sim::Cycle start = 0;      ///< dispatch cycle
+  double cycles = 0.0;       ///< service time incl. dispatch overhead
+};
+
+struct ServeReport {
+  // Request accounting. generated = completed + dropped + shed once the
+  // loop drains (block never loses requests, it only delays them).
+  std::uint64_t generated = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t blocked = 0;       ///< arrivals that waited in the backlog
+  std::size_t peak_backlog = 0;
+
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;         ///< completed / batches
+
+  sim::Cycle end_cycle = 0;        ///< last batch completion (device idle)
+  double p50_ms = 0.0;             ///< end-to-end request latency percentiles
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_queue_ms = 0.0;
+  double throughput_rps = 0.0;     ///< completed per simulated second
+  double drop_rate = 0.0;          ///< (dropped + shed) / generated
+
+  std::vector<BatchRecord> batch_log;
+};
+
+/// Runs the serving loop. When `collect` is non-null, per-batch spans are
+/// appended to its layer records (visible in the Perfetto trace) and the
+/// serving counters/histograms land in its registry.
+ServeReport run_server(const ServiceModel& model, const ServeOptions& options,
+                       const sim::GpuConfig& config,
+                       telemetry::RunTelemetry* collect);
+
+}  // namespace sealdl::serve

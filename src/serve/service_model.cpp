@@ -1,0 +1,151 @@
+#include "serve/service_model.hpp"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+#include "workload/batch_model.hpp"
+
+namespace sealdl::serve {
+
+NamedNetwork named_network(const std::string& name) {
+  if (name == "vgg16") return {name, models::vgg16_specs()};
+  if (name == "resnet18") return {name, models::resnet18_specs()};
+  if (name == "resnet34") return {name, models::resnet34_specs()};
+  throw std::invalid_argument("unknown network " + name +
+                              " (vgg16|resnet18|resnet34)");
+}
+
+namespace {
+
+/// One network's profiling output: the timing result plus the task-private
+/// telemetry sink (null when the caller collects nothing).
+struct ProfileOutcome {
+  workload::NetworkResult result;
+  std::unique_ptr<telemetry::RunTelemetry> telemetry;
+};
+
+ProfileOutcome profile_network(const NamedNetwork& network,
+                               const sim::GpuConfig& config,
+                               workload::RunOptions options,
+                               sim::Cycle sample_interval, bool collect) {
+  ProfileOutcome outcome;
+  if (collect) {
+    telemetry::TelemetryOptions topts;
+    topts.sample_interval = sample_interval;
+    outcome.telemetry = std::make_unique<telemetry::RunTelemetry>(topts);
+  }
+  options.telemetry = outcome.telemetry.get();
+  options.jobs = 1;  // parallelism lives at the network level here
+  outcome.result = workload::run_network(network.specs, config, options);
+  return outcome;
+}
+
+/// Folds one network's telemetry fragment into the shared sink. Called in
+/// network order from the constructing thread only.
+void merge_profile(const std::string& name, const ProfileOutcome& outcome,
+                   telemetry::RunTelemetry* collect) {
+  if (!collect || !outcome.telemetry) return;
+  const telemetry::RunTelemetry& fragment = *outcome.telemetry;
+  if (auto* sampler = collect->sampler()) {
+    if (const auto* source = fragment.sampler()) {
+      sampler->append_shifted(source->samples(), collect->timeline());
+    }
+  }
+  for (telemetry::LayerPhaseRecord record : fragment.layers()) {
+    record.name = name + "/" + record.name;
+    record.start_cycle += collect->timeline();
+    collect->layers().push_back(std::move(record));
+  }
+  collect->registry().merge_from(fragment.registry());
+  collect->advance_timeline(fragment.timeline());
+}
+
+}  // namespace
+
+ServiceModel::ServiceModel(std::vector<NamedNetwork> networks,
+                           const sim::GpuConfig& config,
+                           const workload::RunOptions& base_options,
+                           int max_batch, int jobs,
+                           telemetry::RunTelemetry* collect) {
+  if (networks.empty()) throw std::invalid_argument("ServiceModel: no networks");
+  const bool collecting = collect != nullptr;
+  const sim::Cycle sample_interval =
+      collecting && collect->sampler() ? collect->sampler()->interval() : 0;
+
+  std::vector<ProfileOutcome> outcomes;
+  outcomes.reserve(networks.size());
+  const int workers = jobs == 1 ? 1 : util::ThreadPool::resolve_jobs(jobs);
+  if (workers <= 1 || networks.size() <= 1) {
+    for (const NamedNetwork& network : networks) {
+      outcomes.push_back(profile_network(network, config, base_options,
+                                         sample_interval, collecting));
+    }
+  } else {
+    util::ThreadPool pool(static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(workers), networks.size())));
+    std::vector<std::future<ProfileOutcome>> futures;
+    futures.reserve(networks.size());
+    for (const NamedNetwork& network : networks) {
+      futures.push_back(
+          pool.submit([&network, &config, &base_options, sample_interval,
+                       collecting] {
+            return profile_network(network, config, base_options,
+                                   sample_interval, collecting);
+          }));
+    }
+    for (auto& future : futures) outcomes.push_back(future.get());
+  }
+
+  const int batches = std::max(1, max_batch);
+  for (std::size_t i = 0; i < networks.size(); ++i) {
+    merge_profile(networks[i].name, outcomes[i], collect);
+    names_.push_back(networks[i].name);
+    profiles_.push_back(std::move(outcomes[i].result));
+    const workload::NetworkResult& result = profiles_.back();
+
+    Aggregate aggregate;
+    double cycle_sum = 0.0;
+    for (const workload::LayerResult& layer : result.layers) {
+      aggregate.instructions +=
+          static_cast<double>(layer.stats.thread_instructions) * layer.scale;
+      aggregate.dram_bytes +=
+          static_cast<double>(layer.stats.dram_read_bytes +
+                              layer.stats.dram_write_bytes +
+                              layer.stats.counter_traffic_bytes) *
+          layer.scale;
+      aggregate.encrypted_bytes +=
+          static_cast<double>(layer.stats.encrypted_bytes) * layer.scale;
+      aggregate.bypassed_bytes +=
+          static_cast<double>(layer.stats.bypassed_bytes) * layer.scale;
+      const double cycles = layer.full_cycles();
+      aggregate.dram_util += sim::dram_utilization(layer.stats, config) * cycles;
+      aggregate.aes_util += sim::aes_utilization(layer.stats, config) * cycles;
+      cycle_sum += cycles;
+    }
+    if (cycle_sum > 0.0) {
+      aggregate.dram_util /= cycle_sum;
+      aggregate.aes_util /= cycle_sum;
+    }
+    aggregates_.push_back(aggregate);
+
+    std::vector<double> curve;
+    curve.reserve(static_cast<std::size_t>(batches));
+    for (int b = 1; b <= batches; ++b) {
+      curve.push_back(workload::batched_network_cycles(result, config, b));
+    }
+    cycles_.push_back(std::move(curve));
+  }
+}
+
+double ServiceModel::service_cycles(int network, int batch) const {
+  const auto& curve = cycles_.at(static_cast<std::size_t>(network));
+  const auto idx = static_cast<std::size_t>(
+      std::clamp(batch, 1, static_cast<int>(curve.size())) - 1);
+  return curve[idx];
+}
+
+}  // namespace sealdl::serve

@@ -143,9 +143,14 @@ void GpuSimulator::run(Cycle max_cycles) {
   }
 
   // Drain write-back state so trailing stores/counter flushes are accounted.
+  // L2 dirty-line writebacks stay posted (write_line's documented contract:
+  // they consume bandwidth but nobody waits), but the counter-cache flush is
+  // the last traffic of the run — its drain-complete cycle becomes the final
+  // cycle, so counter-mode end-of-run writeback cost is no longer dropped.
   for (std::size_t c = 0; c < l2_slices_.size(); ++c) l2_slices_[c]->flush(now_);
-  for (auto& mc : controllers_) mc->flush(now_);
-  finish_cycle_ = now_;
+  Cycle drained = now_;
+  for (auto& mc : controllers_) drained = std::max(drained, mc->flush(now_));
+  finish_cycle_ = drained;
   if (sampler_) take_sample(finish_cycle_);  // close the series at run end
 }
 

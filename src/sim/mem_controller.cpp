@@ -1,5 +1,7 @@
 #include "sim/mem_controller.hpp"
 
+#include <algorithm>
+
 #include "sim/bus_probe.hpp"
 
 namespace sealdl::sim {
@@ -136,14 +138,16 @@ void MemoryController::accumulate(SimStats& stats) const {
   }
 }
 
-void MemoryController::flush(Cycle now) {
-  if (!counter_cache_) return;
+Cycle MemoryController::flush(Cycle now) {
+  if (!counter_cache_) return now;
   const auto bytes = static_cast<std::uint64_t>(config_.line_bytes);
+  Cycle drained = now;
   for (const Addr cline : counter_cache_->flush_dirty()) {
     counter_traffic_bytes_ += bytes;
-    dram_.schedule(now, bytes);
+    drained = std::max(drained, dram_.schedule(now, bytes));
     if (probe_) probe_->on_transfer(cline, static_cast<std::uint32_t>(bytes), true, false);
   }
+  return drained;
 }
 
 }  // namespace sealdl::sim

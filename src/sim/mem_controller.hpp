@@ -47,8 +47,16 @@ class MemoryController {
   /// Adds this controller's counters into `stats`.
   void accumulate(SimStats& stats) const;
 
-  /// Flushes dirty counter-cache lines to DRAM (end of run).
-  void flush(Cycle now);
+  /// Flushes dirty counter-cache lines to DRAM (end of run, or an explicit
+  /// mid-run drain point). Returns the cycle the last flushed writeback
+  /// finishes draining on the DRAM channel — `now` when nothing was dirty —
+  /// so callers can fold the drain into the run's final cycle instead of
+  /// silently ending the clock before the bus goes quiet. Flushed counter
+  /// lines are counted in counter_traffic_bytes() and reported to the bus
+  /// probe as plaintext writes, keeping
+  ///   dram_read_bytes + dram_write_bytes + counter_traffic_bytes
+  /// equal to the byte total a bus probe observes.
+  Cycle flush(Cycle now);
 
   void set_probe(BusProbe* probe) { probe_ = probe; }
 

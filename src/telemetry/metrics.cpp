@@ -55,6 +55,11 @@ void MetricsRegistry::write_json(util::JsonWriter& json) const {
   for (const auto& [name, hist] : histograms_) {
     json.key(name).begin_object();
     json.field("count", hist.count());
+    // Out-of-range mass clamps the percentiles to the histogram bounds
+    // (Histogram::percentile contract); export the clamped-sample counts so
+    // a saturated p99 is detectable from the report alone.
+    json.field("underflow", hist.underflow());
+    json.field("overflow", hist.overflow());
     json.field("p50", hist.percentile(50.0));
     json.field("p95", hist.percentile(95.0));
     json.field("p99", hist.percentile(99.0));

@@ -96,16 +96,22 @@ std::string JsonWriter::escape(std::string_view s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
+        // RFC 8259: every remaining control character MUST be \uXXXX-escaped.
+        // The cast keeps a (signed) char from sign-extending through the
+        // varargs promotion into e.g. "￿ff85".
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
-          out += c;
+          out += c;  // includes UTF-8 continuation bytes, passed through
         }
     }
   }

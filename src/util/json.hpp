@@ -41,7 +41,11 @@ class JsonWriter {
   /// The finished document. All begin_* calls must be closed.
   [[nodiscard]] const std::string& str() const { return out_; }
 
-  /// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+  /// Escapes `s` per RFC 8259: quote, backslash, and \b \f \n \r \t use the
+  /// two-character escapes; every other control character (< 0x20) becomes
+  /// \u00XX; all other bytes (including UTF-8 sequences) pass through
+  /// unchanged. Applied to both keys and string values, so documents stay
+  /// parseable for arbitrary layer/metric names.
   static std::string escape(std::string_view s);
 
  private:

@@ -75,7 +75,9 @@ double Histogram::percentile(double p) const {
   // Rank in [0, total]; the value below which p% of the mass lies.
   const double target = p / 100.0 * static_cast<double>(total);
   double cumulative = static_cast<double>(underflow_);
-  if (target <= cumulative) return lo_;
+  // Only actual underflow mass clamps to lo; an empty underflow bucket must
+  // not capture rank 0 (p=0 of an all-overflow histogram is still >= hi).
+  if (underflow_ > 0 && target <= cumulative) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double in_bucket = static_cast<double>(counts_[i]);
     if (in_bucket > 0.0 && target <= cumulative + in_bucket) {

@@ -63,9 +63,16 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const;
 
   /// Approximate p-th percentile (p in [0,100], clamped) by linear
-  /// interpolation within the containing bucket. Samples in the underflow
-  /// bucket resolve to `lo`, overflow samples to `hi`; an empty histogram
-  /// returns `lo`.
+  /// interpolation within the containing bucket.
+  ///
+  /// Out-of-range mass is *clamped, not interpolated*: any percentile whose
+  /// rank lands in the underflow bucket resolves to exactly `lo`, and any
+  /// rank landing in the overflow bucket resolves to exactly `hi` — the
+  /// histogram cannot say more than "at least hi" about those samples. In
+  /// particular p99/p100 of a distribution whose tail escapes [lo, hi)
+  /// silently saturate at `hi`; callers that care must check overflow() (and
+  /// underflow()), which the metrics JSON export surfaces alongside the
+  /// percentiles for exactly this reason. An empty histogram returns `lo`.
   [[nodiscard]] double percentile(double p) const;
 
   /// True when `other` has identical bounds and bucket count, so counts can

@@ -1,0 +1,34 @@
+#include "workload/batch_model.hpp"
+
+#include <algorithm>
+
+namespace sealdl::workload {
+
+double batched_layer_cycles(const LayerResult& layer, const sim::GpuConfig& config,
+                            int batch) {
+  const double full = layer.full_cycles();
+  if (batch <= 1) return full;
+
+  const double read_bytes =
+      static_cast<double>(layer.stats.dram_read_bytes) * layer.scale;
+  double weight_frac = 0.0;
+  if (read_bytes > 0.0) {
+    weight_frac =
+        std::min(1.0, static_cast<double>(layer.weight_bytes) / read_bytes);
+  }
+  const double amortizable =
+      full * sim::dram_utilization(layer.stats, config) * weight_frac;
+  return full * static_cast<double>(batch) -
+         amortizable * static_cast<double>(batch - 1);
+}
+
+double batched_network_cycles(const NetworkResult& result,
+                              const sim::GpuConfig& config, int batch) {
+  double total = 0.0;
+  for (const LayerResult& layer : result.layers) {
+    total += batched_layer_cycles(layer, config, batch);
+  }
+  return total;
+}
+
+}  // namespace sealdl::workload

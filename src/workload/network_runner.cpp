@@ -65,6 +65,13 @@ LayerOutcome simulate_layer(const core::LayerAddressing& layer,
   outcome.result.name = layer.spec.name;
   outcome.result.stats = simulator.stats();
   outcome.result.scale = work.scale();
+  if (layer.spec.type == models::LayerSpec::Type::kConv) {
+    outcome.result.weight_bytes =
+        layer.weight_row_pitch * static_cast<std::uint64_t>(layer.spec.in_channels);
+  } else if (layer.spec.type == models::LayerSpec::Type::kFc) {
+    outcome.result.weight_bytes =
+        layer.weight_row_pitch * static_cast<std::uint64_t>(layer.spec.in_features);
+  }
   if (collect_metrics) {
     telemetry::collect_component_metrics(simulator, outcome.metrics);
   }

@@ -17,6 +17,10 @@ struct LayerResult {
   std::string name;
   sim::SimStats stats;       ///< raw stats of the simulated slice
   double scale = 1.0;        ///< full-layer cycles = stats.cycles * scale
+  /// Laid-out weight footprint of the full layer (row pitch x kernel rows,
+  /// zero for POOL): the batch-invariant traffic that serve::batching can
+  /// amortize across requests (see workload/batch_model.hpp).
+  std::uint64_t weight_bytes = 0;
   [[nodiscard]] double full_cycles() const {
     return static_cast<double>(stats.cycles) * scale;
   }

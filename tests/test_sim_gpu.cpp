@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "attack/bus_snooper.hpp"
 #include "sim/gpu_simulator.hpp"
 
 namespace sealdl::sim {
@@ -243,6 +244,46 @@ TEST(GpuSimulator, SelectiveEncryptionLandsBetween) {
   EXPECT_NEAR(static_cast<double>(seal.encrypted_bytes),
               static_cast<double>(seal.bypassed_bytes),
               static_cast<double>(seal.encrypted_bytes) * 0.05);
+}
+
+TEST(GpuSimulator, CounterFlushDrainExtendsFinalCycle) {
+  // Store-only counter-mode run on one channel: stores are posted, so the
+  // warp finishes issuing long before the DRAM pipe drains. The end-of-run
+  // counter flush is the last traffic booked; its drain-complete cycle must
+  // become the final cycle, so the run cannot report fewer cycles than the
+  // single channel needs to move every byte it carried.
+  GpuConfig config = GpuConfig::gtx480();
+  config.num_sms = 1;
+  config.warps_per_sm = 1;
+  config.num_channels = 1;
+  config.scheme = EncryptionScheme::kCounter;
+
+  GpuSimulator sim(config);
+  attack::BusSnooper probe;
+  sim.set_probe(&probe);
+  std::vector<WarpOp> ops;
+  const Addr stride = static_cast<Addr>(config.line_bytes) *
+                      static_cast<Addr>(config.counters_per_line());
+  // 512 lines fit both the L2 slice (128 KB) and the counter cache (96 KB),
+  // so every counter line is still dirty when the run ends.
+  for (int i = 0; i < 512; ++i) ops.push_back(store(static_cast<Addr>(i) * stride));
+  std::vector<WarpProgramPtr> programs;
+  programs.push_back(std::make_unique<ScriptProgram>(std::move(ops)));
+  sim.load_work(std::move(programs));
+  sim.run();
+
+  const SimStats stats = sim.stats();
+  // 512 data writebacks + 512 counter fills + 512 flushed counter lines.
+  const std::uint64_t total_bytes =
+      stats.dram_read_bytes + stats.dram_write_bytes + stats.counter_traffic_bytes;
+  EXPECT_EQ(total_bytes, 3u * 512u * 128u);
+  EXPECT_GE(static_cast<double>(stats.cycles),
+            static_cast<double>(total_bytes) /
+                config.dram_bytes_per_cycle_per_channel());
+
+  // Whole-simulator byte reconciliation, flush traffic included: the probe
+  // saw exactly the bytes the three stat counters account for.
+  EXPECT_EQ(total_bytes, probe.bytes_on_bus());
 }
 
 }  // namespace

@@ -256,5 +256,98 @@ TEST(GpuConfigExt, CounterGeometry) {
   EXPECT_EQ(config.counters_per_line(), 128);
 }
 
+// ----------------------------------------- counter flush drain accounting ---
+
+TEST(MemController, FlushReturnsDrainCycleAndReconcilesBytes) {
+  const GpuConfig config = config_with(EncryptionScheme::kCounter);
+  MemoryController mc(config, nullptr);
+  attack::BusSnooper probe;
+  mc.set_probe(&probe);
+
+  // Dirty several distinct counter lines: stride past counters_per_line()
+  // data lines so every write touches (and dirties) a fresh counter block.
+  const Addr stride = static_cast<Addr>(config.line_bytes) *
+                      static_cast<Addr>(config.counters_per_line());
+  Cycle t = 0;
+  for (int i = 0; i < 6; ++i) t = mc.write_line(t, static_cast<Addr>(i) * stride);
+
+  SimStats before;
+  mc.accumulate(before);
+  const Cycle drained = mc.flush(t);
+  // Dirty counters existed, so the writeback drain extends the clock.
+  EXPECT_GT(drained, t);
+
+  SimStats after;
+  mc.accumulate(after);
+  EXPECT_EQ(after.counter_traffic_bytes, before.counter_traffic_bytes + 6u * 128u);
+  // Flushed counter lines are counter traffic, not data writes; landing them
+  // in dram_write_bytes too would double-count against the probe.
+  EXPECT_EQ(after.dram_write_bytes, before.dram_write_bytes);
+
+  // Reconciliation (acceptance criterion): every byte the stats account for
+  // crossed the bus exactly once, and nothing crossed unaccounted.
+  EXPECT_EQ(after.dram_read_bytes + after.dram_write_bytes +
+                after.counter_traffic_bytes,
+            probe.bytes_on_bus());
+
+  // A second flush with nothing left dirty neither moves time nor the bus.
+  const std::uint64_t bus_before = probe.bytes_on_bus();
+  EXPECT_EQ(mc.flush(drained), drained);
+  EXPECT_EQ(probe.bytes_on_bus(), bus_before);
+}
+
+TEST(MemController, FlushWithoutCounterCacheIsNoOp) {
+  MemoryController mc(config_with(EncryptionScheme::kDirect), nullptr);
+  mc.write_line(0, 0x1000);
+  EXPECT_EQ(mc.flush(500), 500u);
+}
+
+TEST(MemController, SelectiveCounterDirtyFlushIsPlaintextAndCounted) {
+  // SEAL mode (selective counter): only marked lines touch counters; flushed
+  // counter lines must show up in counter_traffic_bytes and cross the bus as
+  // plaintext writes (counters are not secret — only the pads they seed are).
+  const GpuConfig config = config_with(EncryptionScheme::kCounter, /*selective=*/true);
+  const Addr stride = static_cast<Addr>(config.line_bytes) *
+                      static_cast<Addr>(config.counters_per_line());
+  SecureMap map;
+  map.add_range(0, 4 * stride);  // secure region: first 4 counter blocks
+  MemoryController mc(config, &map);
+  attack::BusSnooper probe;
+  mc.set_probe(&probe);
+
+  Cycle t = 0;
+  // Three secure writes, each dirtying a fresh counter line (miss + fill).
+  for (int i = 0; i < 3; ++i) t = mc.write_line(t, static_cast<Addr>(i) * stride);
+  // One bypassed write far outside the map: no counter access at all.
+  t = mc.write_line(t, Addr{1} << 20);
+  EXPECT_EQ(probe.transfers(), 4u + 3u);        // 4 data writes + 3 counter fills
+  EXPECT_EQ(probe.encrypted_transfers(), 3u);   // only the secure data writes
+
+  // Mid-run flush: the three dirty counter lines drain as plaintext writes.
+  const Cycle drained = mc.flush(t);
+  EXPECT_GT(drained, t);
+  SimStats mid;
+  mc.accumulate(mid);
+  EXPECT_EQ(mid.counter_traffic_bytes, 3u * 128u + 3u * 128u);  // fills + flush
+  EXPECT_EQ(probe.transfers(), 7u + 3u);
+  EXPECT_EQ(probe.encrypted_transfers(), 3u);  // flush added no ciphertext
+  EXPECT_EQ(mid.dram_read_bytes + mid.dram_write_bytes + mid.counter_traffic_bytes,
+            probe.bytes_on_bus());
+
+  // Flushed lines stay resident (clean): re-dirtying one is a cache hit, and
+  // a final clean-exit flush drains exactly that one line.
+  t = mc.write_line(drained, 0);
+  const Cycle final_drain = mc.flush(t);
+  EXPECT_GT(final_drain, t);
+  SimStats fin;
+  mc.accumulate(fin);
+  EXPECT_EQ(fin.counter_hits, 1u);
+  EXPECT_EQ(fin.counter_misses, 3u);
+  EXPECT_EQ(fin.counter_traffic_bytes, mid.counter_traffic_bytes + 128u);
+  EXPECT_EQ(probe.encrypted_transfers(), 4u);
+  EXPECT_EQ(fin.dram_read_bytes + fin.dram_write_bytes + fin.counter_traffic_bytes,
+            probe.bytes_on_bus());
+}
+
 }  // namespace
 }  // namespace sealdl::sim

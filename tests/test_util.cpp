@@ -4,7 +4,10 @@
 #include <cmath>
 #include <set>
 
+#include <string>
+
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -151,6 +154,29 @@ TEST(Histogram, PercentileHandlesUnderflowAndOverflowMass) {
   EXPECT_DOUBLE_EQ(h.percentile(-3.0), 0.0);
 }
 
+TEST(Histogram, AllMassInOverflowSaturatesAtHi) {
+  // When every sample escapes the range, the histogram can only say "at
+  // least hi": every percentile clamps to hi, and overflow() carries the
+  // evidence that the percentiles are saturated.
+  Histogram h(0.0, 10.0, 5);
+  for (int i = 0; i < 100; ++i) h.add(1000.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.overflow(), 100u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+}
+
+TEST(Histogram, SingleUnderflowSampleClampsToLo) {
+  Histogram h(5.0, 10.0, 5);
+  h.add(-100.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 5.0);
+}
+
 TEST(Table, RendersAlignedCells) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});
@@ -193,6 +219,100 @@ TEST(Cli, MissingFlagFallsBack) {
   CliFlags flags(1, const_cast<char**>(argv));
   EXPECT_EQ(flags.get_int("n", 17), 17);
   EXPECT_FALSE(flags.has("n"));
+}
+
+// Minimal RFC 8259 string-body decoder: the inverse of JsonWriter::escape.
+// Only the escapes escape() can emit are accepted; anything else is a bug.
+std::string unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    EXPECT_LT(i, s.size()) << "dangling backslash";
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        EXPECT_LE(i + 4, s.size() - 1) << "truncated \\u escape";
+        const unsigned code =
+            static_cast<unsigned>(std::stoul(s.substr(i + 1, 4), nullptr, 16));
+        EXPECT_LT(code, 0x80u) << "escape() only emits \\u for control bytes";
+        out += static_cast<char>(code);
+        i += 4;
+        break;
+      }
+      default:
+        ADD_FAILURE() << "unexpected escape \\" << s[i];
+    }
+  }
+  return out;
+}
+
+TEST(JsonWriter, EscapeRoundTripsEveryByte) {
+  // Every byte value 0x01..0xFF embedded in context must survive
+  // escape -> unescape unchanged, and the escaped form must never contain a
+  // raw control character (RFC 8259 forbids them inside strings).
+  for (int b = 1; b < 256; ++b) {
+    const std::string original =
+        std::string("k[") + static_cast<char>(b) + "]";
+    const std::string escaped = JsonWriter::escape(original);
+    for (const char c : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+          << "raw control char in escaped output for byte " << b;
+    }
+    EXPECT_EQ(unescape(escaped), original) << "byte " << b;
+  }
+}
+
+TEST(JsonWriter, EscapeUsesShortFormsAndUnicodeEscapes) {
+  EXPECT_EQ(JsonWriter::escape("\"\\"), "\\\"\\\\");
+  EXPECT_EQ(JsonWriter::escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  // Remaining control bytes take the \u00XX form, lowercase hex, no
+  // sign-extension artifacts.
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x00')), "\\u0000");
+  // UTF-8 multi-byte sequences pass through untouched.
+  EXPECT_EQ(JsonWriter::escape("λ=0.5"), "λ=0.5");
+}
+
+TEST(JsonWriter, HostileKeysAndValuesStayParseable) {
+  // A document built from adversarial layer/metric names must remain
+  // structurally valid: balanced containers, no raw control bytes, and the
+  // string bodies decode back to the originals.
+  const std::string key = "conv\t1\n\"input\"\\path\x01";
+  const std::string val = "relu\r{nested}\x1f";
+  JsonWriter json;
+  json.begin_object().field(key, val).end_object();
+  const std::string doc = json.str();
+
+  for (const char c : doc) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control byte";
+  }
+  // Extract the two string bodies and round-trip them.
+  std::vector<std::string> bodies;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    if (doc[i] != '"') continue;
+    std::string body;
+    for (++i; i < doc.size() && doc[i] != '"'; ++i) {
+      body += doc[i];
+      if (doc[i] == '\\') body += doc[++i];  // skip escaped char
+    }
+    bodies.push_back(body);
+  }
+  ASSERT_EQ(bodies.size(), 2u);
+  EXPECT_EQ(unescape(bodies[0]), key);
+  EXPECT_EQ(unescape(bodies[1]), val);
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_EQ(doc.back(), '}');
 }
 
 TEST(Logging, ParseLogLevelNamesAndFallback) {

@@ -1,0 +1,34 @@
+# ctest gate: sealdl-serve must produce byte-identical JSON reports for
+# --jobs 1 and --jobs 4 (profiling parallelism must not leak into results).
+# Invoked as:
+#   cmake -DSERVE_BIN=<path> -DOUT_DIR=<dir> -P check_serve_determinism.cmake
+if(NOT DEFINED SERVE_BIN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DSERVE_BIN=... -DOUT_DIR=... -P check_serve_determinism.cmake")
+endif()
+
+set(common_flags
+  --networks vgg16 --scheme seal-c --rate 30 --duration 0.05
+  --queue-depth 8 --batch 4 --policy shed-oldest --tiles 48 --seed 7)
+
+execute_process(
+  COMMAND ${SERVE_BIN} ${common_flags} --jobs 1 --json ${OUT_DIR}/serve_j1.json
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "sealdl-serve --jobs 1 failed (rc=${rc1})")
+endif()
+
+execute_process(
+  COMMAND ${SERVE_BIN} ${common_flags} --jobs 4 --json ${OUT_DIR}/serve_j4.json
+  RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "sealdl-serve --jobs 4 failed (rc=${rc4})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT_DIR}/serve_j1.json ${OUT_DIR}/serve_j4.json
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "serve reports differ between --jobs 1 and --jobs 4")
+endif()
+message(STATUS "serve determinism OK: --jobs 1 == --jobs 4")

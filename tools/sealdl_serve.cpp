@@ -1,0 +1,163 @@
+// sealdl-serve: batched inference serving simulation front end.
+//
+// Profiles the served network(s) once per scheme configuration, then replays
+// a seeded open-loop arrival schedule against a bounded admission queue and
+// a batching scheduler (see src/serve). Everything runs in simulated time,
+// so a given flag set reproduces byte-identically — including across --jobs
+// values, which only parallelize the profiling stage:
+//
+//   sealdl-serve --networks vgg16 --scheme seal-d --rate 20 --duration 2
+//   sealdl-serve --networks vgg16,resnet18 --rate 50 --policy shed-oldest
+//   sealdl-serve --rate 100 --queue-depth 16 --batch 8 --policy block --jobs 4
+//
+// Telemetry sinks (see docs/OBSERVABILITY.md):
+//   --json report.json        run report: profile layers + batch spans +
+//                             serve/* counters and latency histograms
+//   --trace serve.trace.json  Perfetto trace with one span per batch
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace sealdl;
+
+namespace {
+
+struct SchemeChoice {
+  sim::EncryptionScheme scheme;
+  bool selective;
+};
+
+SchemeChoice parse_scheme(const std::string& name) {
+  if (name == "baseline") return {sim::EncryptionScheme::kNone, false};
+  if (name == "direct") return {sim::EncryptionScheme::kDirect, false};
+  if (name == "counter") return {sim::EncryptionScheme::kCounter, false};
+  if (name == "seal-d") return {sim::EncryptionScheme::kDirect, true};
+  if (name == "seal-c") return {sim::EncryptionScheme::kCounter, true};
+  throw std::invalid_argument("unknown --scheme " + name +
+                              " (baseline|direct|counter|seal-d|seal-c)");
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t end = csv.find(',', begin);
+    const std::string item =
+        csv.substr(begin, end == std::string::npos ? std::string::npos : end - begin);
+    if (!item.empty()) out.push_back(item);
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  util::CliFlags flags(argc, argv);
+  const std::string networks_csv = flags.get("networks", "vgg16");
+  const std::string scheme_name = flags.get("scheme", "baseline");
+  const auto choice = parse_scheme(scheme_name);
+  const double ratio = flags.get_double("ratio", 0.5);
+  const auto tiles = static_cast<std::uint64_t>(flags.get_int("tiles", 480));
+  const int jobs = static_cast<int>(flags.get_int("jobs", 1));
+
+  serve::ServeOptions serve_options;
+  serve_options.rate_rps = flags.get_double("rate", 20.0);
+  serve_options.duration_s = flags.get_double("duration", 1.0);
+  serve_options.queue_depth =
+      static_cast<std::size_t>(flags.get_int("queue-depth", 32));
+  serve_options.max_batch = static_cast<int>(flags.get_int("batch", 4));
+  serve_options.policy = serve::parse_policy(flags.get("policy", "drop"));
+  serve_options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  serve_options.dispatch_overhead_cycles =
+      flags.get_double("dispatch-overhead", 20000.0);
+
+  sim::GpuConfig config = sim::GpuConfig::gtx480();
+  config.scheme = choice.scheme;
+  config.selective = choice.selective;
+
+  const std::string json_path = flags.get("json", "");
+  const std::string trace_path = flags.get("trace", "");
+  const auto sample_interval =
+      static_cast<sim::Cycle>(flags.get_int("sample-interval", 0));
+  std::unique_ptr<telemetry::RunTelemetry> collect;
+  if (!json_path.empty() || !trace_path.empty()) {
+    telemetry::TelemetryOptions topts;
+    topts.sample_interval = sample_interval;
+    collect = std::make_unique<telemetry::RunTelemetry>(topts);
+  }
+  for (const auto& unused : flags.unused()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", unused.c_str());
+  }
+
+  std::vector<serve::NamedNetwork> networks;
+  for (const std::string& name : split_csv(networks_csv)) {
+    networks.push_back(serve::named_network(name));
+  }
+
+  workload::RunOptions run_options;
+  run_options.max_tiles_per_layer = tiles;
+  run_options.selective = choice.selective;
+  run_options.plan.encryption_ratio = ratio;
+
+  const serve::ServiceModel model(networks, config, run_options,
+                                  serve_options.max_batch, jobs, collect.get());
+  const serve::ServeReport report =
+      serve::run_server(model, serve_options, config, collect.get());
+
+  std::printf("sealdl-serve: %s, scheme %s, %.1f req/s for %.2f s, queue %zu, "
+              "batch <= %d, policy %s\n",
+              networks_csv.c_str(), scheme_name.c_str(), serve_options.rate_rps,
+              serve_options.duration_s, serve_options.queue_depth,
+              serve_options.max_batch, serve::policy_name(serve_options.policy));
+  util::Table table({"metric", "value"});
+  table.add_row({"generated", std::to_string(report.generated)});
+  table.add_row({"completed", std::to_string(report.completed)});
+  table.add_row({"dropped", std::to_string(report.dropped)});
+  table.add_row({"shed", std::to_string(report.shed)});
+  table.add_row({"blocked (backlogged)", std::to_string(report.blocked)});
+  table.add_row({"batches", std::to_string(report.batches)});
+  table.add_row({"mean batch", util::Table::fmt(report.mean_batch, 2)});
+  table.add_row({"p50 latency", util::Table::fmt(report.p50_ms, 2) + " ms"});
+  table.add_row({"p95 latency", util::Table::fmt(report.p95_ms, 2) + " ms"});
+  table.add_row({"p99 latency", util::Table::fmt(report.p99_ms, 2) + " ms"});
+  table.add_row({"mean queue wait", util::Table::fmt(report.mean_queue_ms, 2) + " ms"});
+  table.add_row({"throughput", util::Table::fmt(report.throughput_rps, 2) + " req/s"});
+  table.add_row({"drop rate", util::Table::pct(report.drop_rate)});
+  table.print();
+
+  if (collect) {
+    telemetry::RunInfo info;
+    info.tool = "sealdl-serve";
+    info.workload = networks_csv;
+    info.scheme = scheme_name;
+    info.seed = serve_options.seed;
+    if (!json_path.empty()) {
+      telemetry::write_text_file(
+          json_path, telemetry::run_report_json(info, config, *collect));
+    }
+    if (!trace_path.empty()) {
+      telemetry::write_text_file(
+          trace_path, telemetry::chrome_trace_json(info, config, *collect));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sealdl-serve: %s\n", e.what());
+    return 1;
+  }
+}
