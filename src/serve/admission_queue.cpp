@@ -5,6 +5,7 @@
 namespace sealdl::serve {
 
 std::optional<Request> AdmissionQueue::offer(const Request& request) {
+  util::MutexLock lock(mutex_);
   ++offered_;
   if (queue_.size() < depth_ && backlog_.empty()) {
     queue_.push_back(request);
@@ -33,6 +34,7 @@ std::optional<Request> AdmissionQueue::offer(const Request& request) {
 }
 
 std::vector<Request> AdmissionQueue::pop_batch(int max_batch) {
+  util::MutexLock lock(mutex_);
   std::vector<Request> batch;
   if (queue_.empty()) return batch;
   const int network = queue_.front().network;

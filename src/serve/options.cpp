@@ -13,6 +13,16 @@ const char* policy_name(OverloadPolicy policy) {
   return "?";
 }
 
+bool policy_known(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kDrop:
+    case OverloadPolicy::kBlock:
+    case OverloadPolicy::kShedOldest:
+      return true;
+  }
+  return false;
+}
+
 OverloadPolicy parse_policy(const std::string& name) {
   if (name == "drop") return OverloadPolicy::kDrop;
   if (name == "block") return OverloadPolicy::kBlock;

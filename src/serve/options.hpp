@@ -24,6 +24,11 @@ const char* policy_name(OverloadPolicy policy);
 /// Parses "drop" | "block" | "shed-oldest"; throws std::invalid_argument.
 OverloadPolicy parse_policy(const std::string& name);
 
+/// True iff `policy` is one of the declared enumerators — guards values
+/// forged via static_cast in embedding code (checked by the
+/// `serve.options.policy` rule, see verify/serve_checkers.hpp).
+bool policy_known(OverloadPolicy policy);
+
 struct ServeOptions {
   /// Mean offered load in requests per second of simulated time (open-loop
   /// Poisson process: exponential inter-arrival gaps).

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "util/json.hpp"
+#include "util/lock_audit.hpp"
 #include "util/stats.hpp"
 
 namespace sealdl::telemetry {
@@ -64,6 +65,13 @@ class MetricsRegistry {
   /// serial run, so even floating-point totals are bitwise-identical.
   /// Histogram fragments must be compatible() with any existing same-named
   /// histogram (std::invalid_argument otherwise).
+  ///
+  /// Thread-confinement contract: the registry is deliberately unlocked —
+  /// a fragment belongs to exactly one task and the shared sink is merged
+  /// from the submitting thread only. With the lock auditor on
+  /// (SEALDL_LOCK_AUDIT, all test runs) concurrent merge_from calls on the
+  /// same registry report a `lock.confined` finding instead of silently
+  /// corrupting counts.
   void merge_from(const MetricsRegistry& other);
 
   /// Serializes all instruments as one JSON object value (name-sorted).
@@ -75,6 +83,7 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, util::Histogram> histograms_;
+  util::AccessSentinel merge_sentinel_{"telemetry.MetricsRegistry.merge"};
 };
 
 }  // namespace sealdl::telemetry

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/request.hpp"
+#include "util/lock_audit.hpp"
 
 namespace sealdl::telemetry {
 
@@ -43,7 +44,14 @@ class IntervalSampler {
 
   /// Appends a sample taken at local cycle `sample.cycle`; the stored point
   /// is shifted onto the global timeline.
+  ///
+  /// The sampler is thread-confined, not locked: a private sampler belongs
+  /// to one simulating task and the shared series is spliced from the
+  /// merging thread only. The AccessGuard turns a concurrent mutation into
+  /// a `lock.confined` auditor finding in test builds (SEALDL_LOCK_AUDIT)
+  /// instead of a silently reordered series.
   void record(TimeSample sample) {
+    util::AccessGuard guard(sentinel_);
     next_local_ = sample.cycle + interval_;
     sample.cycle += offset_;
     samples_.push_back(sample);
@@ -52,6 +60,7 @@ class IntervalSampler {
   /// Starts a new layer segment whose local cycle 0 sits at global
   /// `global_offset`.
   void begin_segment(sim::Cycle global_offset) {
+    util::AccessGuard guard(sentinel_);
     offset_ = global_offset;
     next_local_ = interval_;
   }
@@ -64,6 +73,7 @@ class IntervalSampler {
   /// to a serial run's.
   void append_shifted(const std::vector<TimeSample>& samples,
                       sim::Cycle global_offset) {
+    util::AccessGuard guard(sentinel_);
     for (TimeSample sample : samples) {
       sample.cycle += global_offset;
       samples_.push_back(sample);
@@ -79,6 +89,7 @@ class IntervalSampler {
   sim::Cycle offset_ = 0;
   sim::Cycle next_local_;
   std::vector<TimeSample> samples_;
+  util::AccessSentinel sentinel_{"telemetry.IntervalSampler"};
 };
 
 }  // namespace sealdl::telemetry

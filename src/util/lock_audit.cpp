@@ -1,0 +1,173 @@
+#include "util/lock_audit.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace sealdl::util {
+
+namespace {
+
+/// Findings stored verbatim; beyond the cap only the exact counter advances
+/// (same policy as verify::Report).
+constexpr std::size_t kMaxStoredFindings = 64;
+
+struct Held {
+  const void* id;
+  const char* name;
+};
+
+/// Per-thread stack of currently held audited mutexes. thread_local keeps
+/// the common path (acquire with nothing else held) entirely lock-free.
+thread_local std::vector<Held> t_held;
+
+bool env_enabled(bool fallback) {
+  const char* env = std::getenv("SEALDL_LOCK_AUDIT");
+  if (!env) return fallback;
+  std::string lowered(env);
+  for (char& c : lowered) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lowered == "1" || lowered == "on" || lowered == "true") return true;
+  if (lowered == "0" || lowered == "off" || lowered == "false") return false;
+  return fallback;
+}
+
+}  // namespace
+
+LockAuditor& LockAuditor::instance() {
+  // Leaked on purpose: mutexes at namespace scope (the logging sink) may be
+  // locked during static destruction, after a function-local static auditor
+  // would already be gone. Still reachable through the pointer, so LSan
+  // stays quiet.
+  static LockAuditor* auditor = new LockAuditor();
+  return *auditor;
+}
+
+bool LockAuditor::build_default() {
+#ifdef SEALDL_LOCK_AUDIT_DEFAULT_ON
+  return true;
+#else
+  return false;
+#endif
+}
+
+LockAuditor::LockAuditor() : enabled_(env_enabled(build_default())) {}
+
+void LockAuditor::on_lock_attempt(const void* id, const char* name) {
+  if (!enabled()) return;
+  for (const Held& held : t_held) {
+    // Same-name edges are skipped: two instances of one capability class
+    // (e.g. nested ThreadPools) would otherwise self-report on first use.
+    if (held.id != id && std::strcmp(held.name, name) != 0) {
+      add_edge(held.name, name);
+    }
+  }
+}
+
+void LockAuditor::on_locked(const void* id, const char* name) {
+  if (!enabled()) return;
+  t_held.push_back({id, name});
+}
+
+void LockAuditor::on_unlocked(const void* id) noexcept {
+  // Runs even when disabled so a mid-run toggle cannot strand stale
+  // entries; with auditing off the stack is empty and this is a size check.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->id == id) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockAuditor::on_cv_wait(const void* id, const char* name) {
+  if (!enabled()) return;
+  for (const Held& held : t_held) {
+    if (held.id == id) continue;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!reported_.emplace(std::string("cv:") + name, held.name).second) {
+      ++total_findings_;
+      continue;
+    }
+    record({"lock.cv-hold", std::string(held.name) + " held across " + name,
+            std::string("condition wait on '") + name + "' while holding '" +
+                held.name +
+                "': the held capability can block the intended waker"});
+  }
+}
+
+void LockAuditor::on_confinement_violation(const char* name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!reported_.emplace(std::string("confined:") + name, "").second) {
+    ++total_findings_;
+    return;
+  }
+  record({"lock.confined", name,
+          std::string("concurrent entry into thread-confined section '") +
+              name + "': the owner must serialize all access"});
+}
+
+void LockAuditor::add_edge(const char* from, const char* to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!edges_[from].insert(to).second) return;  // edge already known
+  // A fresh from->to edge closes a cycle iff `from` was already reachable
+  // from `to` — some thread acquired them in the opposite order.
+  if (reachable(to, from)) {
+    record({"lock.cycle", std::string(from) + " -> " + to,
+            std::string("lock order inversion: '") + from +
+                "' acquired before '" + to +
+                "' here, but the opposite order exists elsewhere — "
+                "potential deadlock"});
+  }
+}
+
+bool LockAuditor::reachable(const std::string& from,
+                            const std::string& to) const {
+  std::vector<const std::string*> stack{&from};
+  std::set<std::string> visited;
+  while (!stack.empty()) {
+    const std::string* node = stack.back();
+    stack.pop_back();
+    if (*node == to) return true;
+    if (!visited.insert(*node).second) continue;
+    const auto it = edges_.find(*node);
+    if (it == edges_.end()) continue;
+    for (const std::string& next : it->second) stack.push_back(&next);
+  }
+  return false;
+}
+
+void LockAuditor::record(LockFinding finding) {
+  ++total_findings_;
+  if (findings_.size() < kMaxStoredFindings) {
+    findings_.push_back(std::move(finding));
+  }
+}
+
+std::vector<LockFinding> LockAuditor::findings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return findings_;
+}
+
+std::uint64_t LockAuditor::finding_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_findings_;
+}
+
+std::size_t LockAuditor::edge_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [node, targets] : edges_) count += targets.size();
+  return count;
+}
+
+void LockAuditor::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  edges_.clear();
+  reported_.clear();
+  findings_.clear();
+  total_findings_ = 0;
+}
+
+}  // namespace sealdl::util

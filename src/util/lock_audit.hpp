@@ -1,0 +1,243 @@
+// Annotated mutex / scoped-lock / condvar wrappers plus a runtime
+// lock-order auditor.
+//
+// Two independent analyses share these wrappers:
+//
+//  * Compile time — every class here carries Clang Thread Safety Analysis
+//    attributes (util/thread_annotations.hpp). Building with
+//    -DSEALDL_THREAD_SAFETY=ON turns any access to a SEALDL_GUARDED_BY
+//    member without the guarding Mutex held into a hard compile error, so
+//    the lock discipline of ThreadPool, the logging sink and the serving
+//    admission queue is *proved*, not merely exercised by TSan.
+//
+//  * Run time (debug/test builds) — when auditing is enabled, every
+//    acquisition records a per-thread edge into a global lock-order graph
+//    keyed by capability name. Findings use stable dotted rule ids, the
+//    same convention as sealdl-check:
+//      lock.cycle    an A-before-B edge joined a B-before-A edge: a
+//                    potential deadlock, reported even if this particular
+//                    run never interleaved into one
+//      lock.cv-hold  a condition-variable wait entered while the thread
+//                    held a second audited capability (the held lock can
+//                    block the intended waker)
+//      lock.confined two threads overlapped inside a thread-confined
+//                    section (util::AccessSentinel)
+//    verify::lock_audit_report() converts the findings into the standard
+//    text/JSON diagnostic stream.
+//
+// Auditing is a runtime switch so one binary serves every build: the
+// SEALDL_LOCK_AUDIT environment variable (1/0/on/off) wins, falling back
+// to the compiled default — ON when the SEALDL_LOCK_AUDIT CMake option is
+// set, OFF otherwise. All ctest entries run with SEALDL_LOCK_AUDIT=1.
+// Disabled, a lock costs one relaxed atomic load over a plain std::mutex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace sealdl::util {
+
+/// One auditor finding. `rule` is a stable dotted id (see header comment);
+/// `subject` names the capabilities involved (e.g. "A -> B").
+struct LockFinding {
+  std::string rule;
+  std::string subject;
+  std::string message;
+};
+
+/// Process-global lock-order graph and finding store. All hooks are no-ops
+/// while disabled; the auditor's own state is protected by a raw std::mutex
+/// on purpose — it must never audit itself.
+class LockAuditor {
+ public:
+  static LockAuditor& instance();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// The compiled-in default (before the SEALDL_LOCK_AUDIT environment
+  /// variable is consulted): true iff the build set the SEALDL_LOCK_AUDIT
+  /// CMake option. Release builds ship with it off.
+  [[nodiscard]] static bool build_default();
+
+  // Hooks called by Mutex/CondVar/AccessGuard. `id` identifies the mutex
+  // instance (for held-stack bookkeeping), `name` its capability class
+  // (edges and findings are keyed by name, so short-lived instances still
+  // accumulate a stable graph).
+  void on_lock_attempt(const void* id, const char* name);
+  void on_locked(const void* id, const char* name);
+  void on_unlocked(const void* id) noexcept;
+  void on_cv_wait(const void* id, const char* name);
+  void on_confinement_violation(const char* name);
+
+  [[nodiscard]] std::vector<LockFinding> findings() const;
+  /// Exact number of findings recorded (capped storage notwithstanding).
+  [[nodiscard]] std::uint64_t finding_count() const;
+  /// Number of distinct acquisition-order edges observed.
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Clears the graph, findings and dedup state — not the per-thread held
+  /// stacks, so call only while no audited lock is held (tests do this
+  /// between cases).
+  void reset();
+
+ private:
+  LockAuditor();
+
+  /// Records `from` acquired-before `to`; cycle check on new edges. Caller
+  /// must NOT hold mutex_.
+  void add_edge(const char* from, const char* to);
+  bool reachable(const std::string& from, const std::string& to) const;
+  void record(LockFinding finding);  ///< mutex_ held by caller
+
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::set<std::string>> edges_;
+  std::set<std::pair<std::string, std::string>> reported_;
+  std::vector<LockFinding> findings_;
+  std::uint64_t total_findings_ = 0;
+};
+
+/// std::mutex with a capability annotation and audit hooks. Every shared
+/// mutable member it protects should be declared SEALDL_GUARDED_BY(it).
+/// The name is the capability *class*: distinct instances guarding the same
+/// kind of state share one name (e.g. every ThreadPool's queue mutex is
+/// "util.ThreadPool"), which is what the order graph is keyed by.
+class SEALDL_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name = "mutex") : name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SEALDL_ACQUIRE() {
+    LockAuditor& audit = LockAuditor::instance();
+    audit.on_lock_attempt(this, name_);
+    mu_.lock();
+    audit.on_locked(this, name_);
+  }
+
+  void unlock() SEALDL_RELEASE() {
+    LockAuditor::instance().on_unlocked(this);
+    mu_.unlock();
+  }
+
+  bool try_lock() SEALDL_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // No order edge: try_lock cannot block, hence cannot deadlock.
+    LockAuditor::instance().on_locked(this, name_);
+    return true;
+  }
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+};
+
+/// Scoped lock over Mutex; the annotated replacement for std::lock_guard.
+class SEALDL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SEALDL_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SEALDL_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with util::Mutex. From the analysis's point of
+/// view the capability stays held across wait() (the internal release/
+/// reacquire is invisible, matching the usual TSA convention). With
+/// auditing on, entering a wait while the thread holds any OTHER audited
+/// capability records a `lock.cv-hold` finding: the held lock can block the
+/// thread that would signal this condition.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mu` and blocks; `mu` is held again on return.
+  void wait(Mutex& mu) SEALDL_REQUIRES(mu) {
+    LockAuditor::instance().on_cv_wait(&mu, mu.name());
+    cv_.wait(mu);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      SEALDL_REQUIRES(mu) {
+    LockAuditor::instance().on_cv_wait(&mu, mu.name());
+    return cv_.wait_for(mu, timeout);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// Debug checker for thread-confined ("externally synchronized by the
+/// owner") state — the telemetry merge paths. It guards nothing by itself:
+/// entering a scope (AccessGuard) while another thread is inside the same
+/// sentinel reports a `lock.confined` finding. Copy and move deliberately
+/// reset the owner: a moved-to registry starts a fresh confinement domain
+/// (parallel layer tasks build fragments on workers, then hand them to the
+/// merging thread by value).
+class AccessSentinel {
+ public:
+  explicit AccessSentinel(const char* name) : name_(name) {}
+  AccessSentinel(const AccessSentinel& other) : name_(other.name_) {}
+  AccessSentinel& operator=(const AccessSentinel& other) {
+    name_ = other.name_;
+    return *this;
+  }
+
+ private:
+  friend class AccessGuard;
+  const char* name_;
+  std::atomic<std::thread::id> owner_{};
+};
+
+/// RAII entry into a thread-confined section. Reentrant on the same thread.
+class AccessGuard {
+ public:
+  explicit AccessGuard(AccessSentinel& sentinel) {
+    LockAuditor& audit = LockAuditor::instance();
+    if (!audit.enabled()) return;
+    std::thread::id expected{};
+    if (sentinel.owner_.compare_exchange_strong(expected,
+                                                std::this_thread::get_id())) {
+      sentinel_ = &sentinel;
+    } else if (expected != std::this_thread::get_id()) {
+      audit.on_confinement_violation(sentinel.name_);
+    }
+  }
+  ~AccessGuard() {
+    if (sentinel_) sentinel_->owner_.store(std::thread::id{});
+  }
+
+  AccessGuard(const AccessGuard&) = delete;
+  AccessGuard& operator=(const AccessGuard&) = delete;
+
+ private:
+  AccessSentinel* sentinel_ = nullptr;
+};
+
+}  // namespace sealdl::util

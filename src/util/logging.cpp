@@ -4,15 +4,19 @@
 #include <cctype>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <string>
+
+#include "util/lock_audit.hpp"
 
 namespace sealdl::util {
 
 namespace {
 std::atomic<LogLevel> g_level{
     parse_log_level(std::getenv("SEALDL_LOG_LEVEL"), LogLevel::kWarn)};
-std::mutex g_mutex;
+// Serializes whole lines onto stderr. Annotated + audited like every other
+// capability so a log call inside a condition wait or lock cycle shows up
+// in the lock-order graph under a stable name.
+Mutex g_sink_mutex{"util.log_sink"};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -44,7 +48,7 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_sink_mutex);
   std::cerr << "[" << level_name(level) << "] " << message << "\n";
 }
 

@@ -5,32 +5,52 @@ namespace sealdl::util {
 ThreadPool::ThreadPool(int threads) {
   const int count = threads < 1 ? 1 : threads;
   workers_.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  try {
+    for (int i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread spawn failed part-way: stop and join the workers that did
+    // start, then let the exception escape. Without this the vector's
+    // destructor would destroy joinable threads and terminate.
+    shutdown_and_join();
+    throw;
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown_and_join(); }
+
+void ThreadPool::shutdown_and_join() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
+      // stop_ set: keep draining until the queue is empty. A task running
+      // on THIS worker may still enqueue more work; the re-check on the
+      // next loop iteration picks it up, so enqueue-during-shutdown drains
+      // instead of deadlocking.
+      if (queue_.empty()) return;
+      task = take_task();
     }
     task();
   }
+}
+
+std::function<void()> ThreadPool::take_task() {
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  return task;
 }
 
 int ThreadPool::resolve_jobs(int jobs) {

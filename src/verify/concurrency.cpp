@@ -1,0 +1,29 @@
+#include "verify/concurrency.hpp"
+
+namespace sealdl::verify {
+
+std::vector<std::string> lock_audit_rules() {
+  return {"lock.cycle", "lock.cv-hold", "lock.confined"};
+}
+
+Report lock_audit_report(const std::vector<util::LockFinding>& findings,
+                         std::size_t max_per_rule) {
+  Report report(max_per_rule);
+  for (const util::LockFinding& finding : findings) {
+    Diagnostic diagnostic;
+    diagnostic.rule = finding.rule;
+    diagnostic.severity = Severity::kError;
+    // The capability name(s) slot into the layer column: both are "where in
+    // the system", and the text/JSON renderers need no special casing.
+    diagnostic.layer = finding.subject;
+    diagnostic.message = finding.message;
+    report.add(std::move(diagnostic));
+  }
+  return report;
+}
+
+Report lock_audit_report() {
+  return lock_audit_report(util::LockAuditor::instance().findings());
+}
+
+}  // namespace sealdl::verify

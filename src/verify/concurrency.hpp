@@ -1,0 +1,31 @@
+// Bridges the runtime lock-order auditor (util/lock_audit.hpp) into the
+// sealdl-check diagnostic stream.
+//
+// The auditor lives in util — below verify in the layering — so it stores
+// findings in its own lightweight form; this adapter converts them into
+// verify::Diagnostics, giving the concurrency rules (`lock.cycle`,
+// `lock.cv-hold`, `lock.confined`) the same text/JSON rendering, rule
+// counting and stable-id contract as the plan/layout/trace rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/lock_audit.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace sealdl::verify {
+
+/// Rule ids the auditor can emit (for --list-rules).
+std::vector<std::string> lock_audit_rules();
+
+/// Converts auditor findings into a Report (every finding is an error: each
+/// one is a provable discipline violation, not a heuristic).
+[[nodiscard]] Report lock_audit_report(
+    const std::vector<util::LockFinding>& findings,
+    std::size_t max_per_rule = 16);
+
+/// Snapshot of the process-global auditor.
+[[nodiscard]] Report lock_audit_report();
+
+}  // namespace sealdl::verify

@@ -1,0 +1,42 @@
+// Static validation of serve::ServeOptions — the `serve.options.*` rule
+// family.
+//
+// sealdl-serve runs this before profiling anything: a bad configuration
+// fails fast with exit code 2 and a stable rule id in the standard
+// diagnostic stream (text or JSON, same as sealdl-check) instead of
+// tripping an assert deep inside the scheduler. The checks are pure
+// functions of the option struct — no simulation, the same spirit as the
+// plan/layout rules. Rule catalog (docs/ANALYSIS.md):
+//
+//   serve.options.rate      offered rate is a positive finite req/s
+//   serve.options.duration  arrival window is a positive finite second count
+//   serve.options.queue     max_batch >= 1, queue_depth >= 1 and
+//                           queue_depth >= max_batch (a dispatch must be
+//                           able to fill a full batch from the queue)
+//   serve.options.policy    overload policy is a declared enumerator
+//   serve.options.jobs      profiling --jobs is >= 1, or 0 = auto
+//   serve.options.overhead  dispatch overhead is finite and >= 0 cycles
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/options.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace sealdl::verify {
+
+/// Rule ids the family can emit, in catalog order (for --list-rules).
+std::vector<std::string> serve_option_rules();
+
+/// Appends one error diagnostic per violated rule. `jobs` is the profiling
+/// parallelism knob (0 = one worker per hardware thread is legal; negatives
+/// are not).
+void check_serve_options(const serve::ServeOptions& options, int jobs,
+                         Report& report);
+
+/// Convenience wrapper returning a fresh report.
+[[nodiscard]] Report run_serve_options_check(const serve::ServeOptions& options,
+                                             int jobs);
+
+}  // namespace sealdl::verify

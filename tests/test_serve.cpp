@@ -1,15 +1,17 @@
 // Serving layer: request generation, admission policies, the batch latency
-// model, profiling-telemetry merge determinism, and the serving loop's
-// accounting.
+// model, profiling-telemetry merge determinism, the serving loop's
+// accounting, and static validation of ServeOptions (serve.options.*).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "serve/admission_queue.hpp"
 #include "serve/request_gen.hpp"
 #include "serve/server.hpp"
 #include "telemetry/report.hpp"
+#include "verify/serve_checkers.hpp"
 #include "workload/batch_model.hpp"
 
 namespace sealdl::serve {
@@ -360,6 +362,106 @@ TEST(Server, TelemetryCarriesServingMetricsAndBatchSpans) {
     if (record.name.rfind("serve/", 0) == 0) ++spans;
   }
   EXPECT_EQ(spans, report.batches);
+}
+
+// ---------------------------------------------------------- serve.options ---
+
+TEST(ServeOptionRules, CleanDefaultsPassEveryRule) {
+  const verify::Report report =
+      verify::run_serve_options_check(ServeOptions{}, 1);
+  EXPECT_EQ(report.error_count(), 0u);
+  // jobs = 0 means one worker per hardware thread — legal, not a violation.
+  EXPECT_EQ(verify::run_serve_options_check(ServeOptions{}, 0).error_count(),
+            0u);
+}
+
+TEST(ServeOptionRules, RateMustBePositiveFinite) {
+  ServeOptions options;
+  options.rate_rps = 0.0;
+  EXPECT_TRUE(verify::run_serve_options_check(options, 1)
+                  .fired("serve.options.rate"));
+  options.rate_rps = -5.0;
+  EXPECT_TRUE(verify::run_serve_options_check(options, 1)
+                  .fired("serve.options.rate"));
+  options.rate_rps = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(verify::run_serve_options_check(options, 1)
+                  .fired("serve.options.rate"));
+}
+
+TEST(ServeOptionRules, DurationMustBePositiveFinite) {
+  ServeOptions options;
+  options.duration_s = 0.0;
+  EXPECT_TRUE(verify::run_serve_options_check(options, 1)
+                  .fired("serve.options.duration"));
+  options.duration_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(verify::run_serve_options_check(options, 1)
+                  .fired("serve.options.duration"));
+}
+
+TEST(ServeOptionRules, QueueMustCoverOneFullBatch) {
+  ServeOptions options;
+  options.queue_depth = 2;
+  options.max_batch = 8;
+  EXPECT_TRUE(verify::run_serve_options_check(options, 1)
+                  .fired("serve.options.queue"));
+  options.queue_depth = 8;
+  EXPECT_FALSE(verify::run_serve_options_check(options, 1)
+                   .fired("serve.options.queue"));
+  options.max_batch = 0;
+  EXPECT_TRUE(verify::run_serve_options_check(options, 1)
+                  .fired("serve.options.queue"));
+  options.max_batch = 4;
+  options.queue_depth = 0;
+  EXPECT_TRUE(verify::run_serve_options_check(options, 1)
+                  .fired("serve.options.queue"));
+}
+
+TEST(ServeOptionRules, PolicyMustBeDeclaredEnumerator) {
+  ServeOptions options;
+  options.policy = static_cast<OverloadPolicy>(99);
+  EXPECT_TRUE(verify::run_serve_options_check(options, 1)
+                  .fired("serve.options.policy"));
+  for (const OverloadPolicy policy :
+       {OverloadPolicy::kDrop, OverloadPolicy::kBlock,
+        OverloadPolicy::kShedOldest}) {
+    options.policy = policy;
+    EXPECT_FALSE(verify::run_serve_options_check(options, 1)
+                     .fired("serve.options.policy"));
+  }
+}
+
+TEST(ServeOptionRules, NegativeJobsRejected) {
+  EXPECT_TRUE(verify::run_serve_options_check(ServeOptions{}, -1)
+                  .fired("serve.options.jobs"));
+  EXPECT_FALSE(verify::run_serve_options_check(ServeOptions{}, 4)
+                   .fired("serve.options.jobs"));
+}
+
+TEST(ServeOptionRules, OverheadMustBeFiniteNonNegative) {
+  ServeOptions options;
+  options.dispatch_overhead_cycles = -5.0;
+  EXPECT_TRUE(verify::run_serve_options_check(options, 1)
+                  .fired("serve.options.overhead"));
+  options.dispatch_overhead_cycles = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(verify::run_serve_options_check(options, 1)
+                  .fired("serve.options.overhead"));
+  options.dispatch_overhead_cycles = 0.0;
+  EXPECT_FALSE(verify::run_serve_options_check(options, 1)
+                   .fired("serve.options.overhead"));
+}
+
+TEST(ServeOptionRules, ViolationsAccumulateIntoOneReport) {
+  ServeOptions options;
+  options.rate_rps = -1.0;
+  options.duration_s = 0.0;
+  options.queue_depth = 1;
+  options.max_batch = 8;
+  const verify::Report report = verify::run_serve_options_check(options, -2);
+  EXPECT_GE(report.error_count(), 4u);
+  EXPECT_TRUE(report.fired("serve.options.rate"));
+  EXPECT_TRUE(report.fired("serve.options.duration"));
+  EXPECT_TRUE(report.fired("serve.options.queue"));
+  EXPECT_TRUE(report.fired("serve.options.jobs"));
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 // util::ThreadPool: result ordering, exception propagation, reuse across
-// submission waves, and the jobs-resolution helper.
+// submission waves, the jobs-resolution helper, and destruction-order
+// safety — queued tasks drain on destroy even when tasks submit more tasks
+// mid-shutdown or the pool dies during exception unwind.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -87,6 +89,71 @@ TEST(ThreadPool, DestructorDrainsQueuedTasks) {
     // Drop the futures on the floor; destruction must still run every task.
   }
   EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, TaskSubmittingDuringShutdownStillDrains) {
+  // The destructor flips stop_ while a running task is about to submit a
+  // child. Drain-on-destroy means workers re-check the queue after every
+  // task, so the child must still run before the pool's threads join.
+  std::atomic<bool> child_ran{false};
+  {
+    ThreadPool pool(2);
+    pool.submit([&pool, &child_ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      pool.submit([&child_ran] { child_ran.store(true); });
+    });
+    // Destruction starts immediately, racing the parent's submit.
+  }
+  EXPECT_TRUE(child_ran.load());
+}
+
+TEST(ThreadPool, ChainedShutdownSubmissionsDrainWithoutDeadlock) {
+  // A chain of tasks each submitting the next, on a single worker, with the
+  // destructor already running: every link must execute.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    struct Chain {
+      ThreadPool& pool;
+      std::atomic<int>& counter;
+      int depth;
+      void operator()() const {
+        counter.fetch_add(1);
+        if (depth > 0) {
+          pool.submit(Chain{pool, counter, depth - 1});
+        }
+      }
+    };
+    pool.submit(Chain{pool, counter, 3});
+  }
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ThreadPool, EarlyExceptionUnwindDrainsInFlightTasks) {
+  // Mirrors the parallel runner's failure path: a task throws, the caller's
+  // .get() rethrows, and stack unwinding destroys the pool while a backlog
+  // of slower tasks is still queued. The unwind must block until every
+  // queued task ran — otherwise tasks referencing unwound stack state would
+  // execute after their referents died.
+  std::atomic<int> ran{0};
+  bool caught = false;
+  try {
+    ThreadPool pool(2);
+    auto bad = pool.submit([]() -> int {
+      throw std::runtime_error("layer failed");
+    });
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ran.fetch_add(1);
+      });
+    }
+    bad.get();  // throws; unwind destroys the pool with tasks queued
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(ran.load(), 16);
 }
 
 TEST(ThreadPool, ResolveJobsMapsZeroToHardwareConcurrency) {

@@ -20,6 +20,8 @@
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "verify/checker.hpp"
+#include "verify/concurrency.hpp"
+#include "verify/serve_checkers.hpp"
 
 using namespace sealdl;
 
@@ -49,6 +51,15 @@ void list_rules() {
                   static_cast<int>(checker->name().size()),
                   checker->name().data());
     }
+  }
+  // Rule families owned by other entry points, listed here so the catalog
+  // printed by --list-rules stays the single complete index.
+  for (const std::string& rule : verify::serve_option_rules()) {
+    std::printf("%-16s (validated by sealdl-serve)\n", rule.c_str());
+  }
+  for (const std::string& rule : verify::lock_audit_rules()) {
+    std::printf("%-16s (runtime lock auditor, SEALDL_LOCK_AUDIT)\n",
+                rule.c_str());
   }
   std::printf("\ninjections (--inject <name>|all):\n");
   for (const verify::Injection injection : verify::all_injections()) {

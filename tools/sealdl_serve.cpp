@@ -14,6 +14,11 @@
 //   --json report.json        run report: profile layers + batch spans +
 //                             serve/* counters and latency histograms
 //   --trace serve.trace.json  Perfetto trace with one span per batch
+//
+// Exit codes: 0 success, 1 runtime error, 2 invalid serving configuration —
+// the config is statically validated up front (verify/serve_checkers.hpp,
+// rule family serve.options.*) and violations print with their rule ids
+// rather than asserting deep inside the scheduler.
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
@@ -25,6 +30,7 @@
 #include "telemetry/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "verify/serve_checkers.hpp"
 
 using namespace sealdl;
 
@@ -74,10 +80,28 @@ int run(int argc, char** argv) {
   serve_options.queue_depth =
       static_cast<std::size_t>(flags.get_int("queue-depth", 32));
   serve_options.max_batch = static_cast<int>(flags.get_int("batch", 4));
-  serve_options.policy = serve::parse_policy(flags.get("policy", "drop"));
   serve_options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   serve_options.dispatch_overhead_cycles =
       flags.get_double("dispatch-overhead", 20000.0);
+
+  // Static config validation: collect every violation (including an
+  // unparsable --policy) into one report so the operator sees the full
+  // list, then refuse with exit code 2 and the stable rule ids.
+  verify::Report options_report;
+  try {
+    serve_options.policy = serve::parse_policy(flags.get("policy", "drop"));
+  } catch (const std::invalid_argument& e) {
+    verify::Diagnostic diagnostic;
+    diagnostic.rule = "serve.options.policy";
+    diagnostic.message = e.what();
+    options_report.add(std::move(diagnostic));
+  }
+  verify::check_serve_options(serve_options, jobs, options_report);
+  if (options_report.error_count() > 0) {
+    std::fputs(options_report.to_text().c_str(), stderr);
+    std::fprintf(stderr, "sealdl-serve: invalid serving configuration\n");
+    return 2;
+  }
 
   sim::GpuConfig config = sim::GpuConfig::gtx480();
   config.scheme = choice.scheme;
