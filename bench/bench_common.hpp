@@ -116,16 +116,35 @@ inline std::unique_ptr<telemetry::RunTelemetry> telemetry_from_flags(
   return std::make_unique<telemetry::RunTelemetry>(options);
 }
 
+/// Stamps the shared provenance block into a bench's BENCH_*.json document
+/// (same schema as the run reports' "provenance" key).
+inline void write_bench_provenance(util::JsonWriter& json,
+                                   const sim::GpuConfig& config, int jobs,
+                                   std::vector<std::string> schemes) {
+  json.key("provenance");
+  telemetry::write_provenance_json(
+      json, telemetry::make_provenance(config, jobs, std::move(schemes)));
+}
+
+/// Scheme labels of five_schemes(), for provenance stamping.
+inline std::vector<std::string> five_scheme_names() {
+  std::vector<std::string> names;
+  for (const SchemeConfig& scheme : five_schemes()) names.push_back(scheme.name);
+  return names;
+}
+
 /// Writes the sinks parsed by telemetry_from_flags(); no-op when `collect`
 /// is null.
 inline void export_telemetry(util::CliFlags& flags, const std::string& bench,
                              const sim::GpuConfig& config,
-                             const telemetry::RunTelemetry* collect) {
+                             const telemetry::RunTelemetry* collect,
+                             int jobs = 1) {
   if (!collect) return;
   telemetry::RunInfo info;
   info.tool = bench;
   info.workload = bench;
   info.scheme = "multi";  // bench runs sweep several schemes into one report
+  info.provenance = telemetry::make_provenance(config, jobs, five_scheme_names());
   const std::string json = flags.get("json", "");
   const std::string trace = flags.get("trace", "");
   if (!json.empty()) {

@@ -93,6 +93,9 @@ int main_impl(int argc, char** argv) {
   json.field("ratio", ratio);
   // Speedups only mean anything relative to the cores the host exposed.
   json.field("host_cores", static_cast<std::uint64_t>(hw ? hw : 1));
+  // jobs=0 in the provenance block flags a sweep over several job counts.
+  bench::write_bench_provenance(json, bench::configure(schemes.front()),
+                                /*jobs=*/0, bench::five_scheme_names());
   json.field("cycle_checksum", points.front().checksum);
   json.key("runs").begin_array();
   for (const auto& point : points) {

@@ -112,6 +112,8 @@ int main_impl(int argc, char** argv) {
   json.field("queue_depth", static_cast<std::uint64_t>(queue_depth));
   json.field("max_batch", max_batch);
   json.field("policy", policy_name);
+  bench::write_bench_provenance(json, bench::configure(schemes.front()), jobs,
+                                bench::five_scheme_names());
   json.key("seal_check").begin_object();
   json.field("baseline_ms", base_ms);
   json.field("seal_d_ms", seal_ms);

@@ -7,8 +7,11 @@ namespace sealdl::serve {
 std::optional<Request> AdmissionQueue::offer(const Request& request) {
   util::MutexLock lock(mutex_);
   ++offered_;
+  // Direct admission enters the queue at its own arrival instant.
+  Request admitted = request;
+  admitted.admit = request.arrival;
   if (queue_.size() < depth_ && backlog_.empty()) {
-    queue_.push_back(request);
+    queue_.push_back(admitted);
     ++admitted_;
     return std::nullopt;
   }
@@ -25,7 +28,7 @@ std::optional<Request> AdmissionQueue::offer(const Request& request) {
       Request oldest = queue_.front();
       queue_.pop_front();
       ++shed_;
-      queue_.push_back(request);
+      queue_.push_back(admitted);
       ++admitted_;
       return oldest;
     }
@@ -33,7 +36,7 @@ std::optional<Request> AdmissionQueue::offer(const Request& request) {
   return std::nullopt;
 }
 
-std::vector<Request> AdmissionQueue::pop_batch(int max_batch) {
+std::vector<Request> AdmissionQueue::pop_batch(int max_batch, sim::Cycle now) {
   util::MutexLock lock(mutex_);
   std::vector<Request> batch;
   if (queue_.empty()) return batch;
@@ -47,14 +50,16 @@ std::vector<Request> AdmissionQueue::pop_batch(int max_batch) {
       ++it;
     }
   }
-  refill_from_backlog();
+  refill_from_backlog(now);
   return batch;
 }
 
-void AdmissionQueue::refill_from_backlog() {
+void AdmissionQueue::refill_from_backlog(sim::Cycle now) {
   while (queue_.size() < depth_ && !backlog_.empty()) {
-    queue_.push_back(backlog_.front());
+    Request request = backlog_.front();
     backlog_.pop_front();
+    request.admit = std::max(now, request.arrival);
+    queue_.push_back(request);
     ++admitted_;
   }
 }

@@ -40,8 +40,11 @@ class AdmissionQueue {
   /// Pops the front request plus up to `max_batch - 1` further queued
   /// requests for the same network (FIFO across the queue; non-matching
   /// requests keep their positions). Backlogged requests then refill the
-  /// freed slots in arrival order. Empty result iff the queue is empty.
-  std::vector<Request> pop_batch(int max_batch) SEALDL_EXCLUDES(mutex_);
+  /// freed slots in arrival order, each stamped with `now` as its admit
+  /// cycle (the lifecycle trace's backlog/queue stage boundary). Empty
+  /// result iff the queue is empty.
+  std::vector<Request> pop_batch(int max_batch, sim::Cycle now = 0)
+      SEALDL_EXCLUDES(mutex_);
 
   [[nodiscard]] bool empty() const SEALDL_EXCLUDES(mutex_) {
     util::MutexLock lock(mutex_);
@@ -90,7 +93,7 @@ class AdmissionQueue {
   }
 
  private:
-  void refill_from_backlog() SEALDL_REQUIRES(mutex_);
+  void refill_from_backlog(sim::Cycle now) SEALDL_REQUIRES(mutex_);
 
   mutable util::Mutex mutex_{"serve.AdmissionQueue"};
   std::size_t depth_;        ///< immutable after construction

@@ -45,6 +45,20 @@ struct ServeOptions {
   std::uint64_t seed = 1;
   /// Fixed cycles charged per dispatch (kernel launch, batch assembly).
   double dispatch_overhead_cycles = 20000.0;
+
+  /// Live-stats streaming (--live-stats): when enabled, the serving loop
+  /// emits one NDJSON progress line per `live_stats_interval_s` of simulated
+  /// time. The interval must be a positive finite second count
+  /// (serve.options.live).
+  bool live_stats = false;
+  double live_stats_interval_s = 0.0;
+
+  /// Request-lifecycle profile export (--profile-out): when enabled, the
+  /// per-request stage decomposition is written as NDJSON to `profile_path`,
+  /// which must be a plausible writable file path — non-empty and not a
+  /// directory (serve.options.profile).
+  bool profile = false;
+  std::string profile_path;
 };
 
 }  // namespace sealdl::serve

@@ -20,6 +20,11 @@ struct Request {
   std::uint64_t id = 0;      ///< arrival order, 0-based
   int network = 0;           ///< index into the ServiceModel's networks
   sim::Cycle arrival = 0;    ///< cycle the request reaches the server
+  /// Cycle the request entered the admission queue: the arrival cycle when
+  /// admitted directly, the backlog-refill cycle under the block policy.
+  /// Stamped by AdmissionQueue; the lifecycle trace derives the backlog-wait
+  /// stage (admit - arrival) from it.
+  sim::Cycle admit = 0;
 };
 
 /// Generates all arrivals in [0, duration_s) at `core_mhz` cycles per

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "serve/options.hpp"
@@ -29,6 +31,13 @@ struct BatchRecord {
   int size = 0;
   sim::Cycle start = 0;      ///< dispatch cycle
   double cycles = 0.0;       ///< service time incl. dispatch overhead
+};
+
+/// Percentiles of one lifecycle stage's latency over completed requests.
+struct StageLatency {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 struct ServeReport {
@@ -52,14 +61,33 @@ struct ServeReport {
   double throughput_rps = 0.0;     ///< completed per simulated second
   double drop_rate = 0.0;          ///< (dropped + shed) / generated
 
+  // Per-stage latency decomposition over completed requests. The stages are
+  // causally ordered (backlog -> queue -> dispatch -> execute) and their
+  // per-request cycle counts sum exactly to the end-to-end latency:
+  // stage_cycles_sum == latency_cycles_sum (rule profile.serve.stages).
+  StageLatency stage_backlog;
+  StageLatency stage_queue;
+  StageLatency stage_dispatch;
+  StageLatency stage_execute;
+  double stage_cycles_sum = 0.0;    ///< sum of all stage cycles, completed reqs
+  double latency_cycles_sum = 0.0;  ///< sum of end-to-end latency cycles
+
   std::vector<BatchRecord> batch_log;
 };
 
+/// Receives one NDJSON progress line per live-stats interval (simulated
+/// time). Lines are deterministic functions of the serving state.
+using LiveStatsSink = std::function<void(const std::string& line)>;
+
 /// Runs the serving loop. When `collect` is non-null, per-batch spans are
-/// appended to its layer records (visible in the Perfetto trace) and the
-/// serving counters/histograms land in its registry.
+/// appended to its layer records (visible in the Perfetto trace), the
+/// serving counters/histograms land in its registry, and every request's
+/// lifecycle span chain is recorded in collect->requests(). When
+/// `live_stats` is set and options.live_stats enabled, one NDJSON progress
+/// line is emitted per live-stats interval of simulated time.
 ServeReport run_server(const ServiceModel& model, const ServeOptions& options,
                        const sim::GpuConfig& config,
-                       telemetry::RunTelemetry* collect);
+                       telemetry::RunTelemetry* collect,
+                       const LiveStatsSink& live_stats = {});
 
 }  // namespace sealdl::serve

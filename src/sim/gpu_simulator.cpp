@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/profiler.hpp"
+
 namespace sealdl::sim {
 
 GpuSimulator::GpuSimulator(GpuConfig config, const SecureMap* secure_map)
@@ -104,6 +106,15 @@ void GpuSimulator::take_sample(Cycle now) {
     dram_bytes += mc->read_bytes() + mc->write_bytes();
   }
 
+  // Queue-occupancy census at the sample instant: warps parked on a full
+  // load window vs a WaitLoads barrier, summed across SMs. These are point
+  // reads (not deltas), so no sample_base_ entry.
+  int window_waiters = 0, barrier_waiters = 0;
+  for (const auto& sm : sms_) {
+    window_waiters += sm->window_waiters();
+    barrier_waiters += sm->barrier_waiters();
+  }
+
   telemetry::TimeSample sample;
   sample.cycle = now;
   const double cycles = static_cast<double>(elapsed);
@@ -115,6 +126,8 @@ void GpuSimulator::take_sample(Cycle now) {
                     (cycles * static_cast<double>(config_.num_channels) *
                      static_cast<double>(config_.engines_per_controller));
   sample.dram_bytes = dram_bytes - sample_base_.dram_bytes;
+  sample.window_waiters = static_cast<double>(window_waiters);
+  sample.barrier_waiters = static_cast<double>(barrier_waiters);
   sampler_->record(sample);
   sample_base_ = {now, instructions, dram_busy, aes_busy, dram_bytes};
 }
@@ -134,12 +147,19 @@ void GpuSimulator::run(Cycle max_cycles) {
     if (warps_done && queues_empty) break;
     if (max_cycles && now_ >= max_cycles) break;
 
-    ++now_;
+    Cycle next = now_ + 1;
     if (issued == 0) {
       // Nothing issuable: jump to the next memory event instead of idling.
-      const Cycle next = next_event_cycle();
-      if (next != std::numeric_limits<Cycle>::max() && next > now_) now_ = next;
+      const Cycle event = next_event_cycle();
+      if (event != std::numeric_limits<Cycle>::max() && event > next) {
+        next = event;
+      }
     }
+    // The span [now_, next) is state-constant: no SM issues and no memory
+    // event completes inside it, which is what lets the profiler attribute
+    // the whole span from the state observed at now_.
+    if (profiler_) profiler_->account(*this, now_, next);
+    now_ = next;
   }
 
   // Drain write-back state so trailing stores/counter flushes are accounted.
@@ -151,6 +171,7 @@ void GpuSimulator::run(Cycle max_cycles) {
   Cycle drained = now_;
   for (auto& mc : controllers_) drained = std::max(drained, mc->flush(now_));
   finish_cycle_ = drained;
+  if (profiler_) profiler_->finish(*this, now_, finish_cycle_);
   if (sampler_) take_sample(finish_cycle_);  // close the series at run end
 }
 

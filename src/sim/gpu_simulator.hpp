@@ -20,6 +20,10 @@
 #include "sim/sm_core.hpp"
 #include "telemetry/sampler.hpp"
 
+namespace sealdl::telemetry {
+class CycleProfiler;
+}  // namespace sealdl::telemetry
+
 namespace sealdl::sim {
 
 class GpuSimulator {
@@ -47,6 +51,13 @@ class GpuSimulator {
   /// default): the run loop then pays exactly one branch per cycle. The
   /// sampler must outlive run().
   void set_sampler(telemetry::IntervalSampler* sampler) { sampler_ = sampler; }
+
+  /// Attaches a cycle-attribution profiler (see telemetry/profiler.hpp). Same
+  /// contract as the sampler: null (the default) costs one branch per
+  /// run-loop iteration; non-null must outlive run(). The profiler sees every
+  /// loop span [now, next) via account() and the post-loop drain tail via
+  /// finish().
+  void set_profiler(telemetry::CycleProfiler* profiler) { profiler_ = profiler; }
 
   [[nodiscard]] const GpuConfig& config() const { return config_; }
 
@@ -96,6 +107,7 @@ class GpuSimulator {
   Cycle finish_cycle_ = 0;
 
   telemetry::IntervalSampler* sampler_ = nullptr;
+  telemetry::CycleProfiler* profiler_ = nullptr;
   /// Component totals at the previous sample, for interval deltas.
   struct SampleBase {
     Cycle cycle = 0;

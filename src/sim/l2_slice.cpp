@@ -1,5 +1,7 @@
 #include "sim/l2_slice.hpp"
 
+#include <algorithm>
+
 namespace sealdl::sim {
 
 L2Slice::L2Slice(const GpuConfig& config, MemoryController* controller)
@@ -11,7 +13,9 @@ L2Slice::L2Slice(const GpuConfig& config, MemoryController* controller)
 L2ReadResult L2Slice::read(Cycle now, Addr addr, Waiter waiter, Cycle* fill_ready) {
   const auto lookup = cache_.access(addr, /*mark_dirty=*/false);
   if (lookup.hit) {
-    return {true, now + static_cast<Cycle>(config_.l2_latency), false};
+    const Cycle ready = now + static_cast<Cycle>(config_.l2_latency);
+    hit_busy_until_ = std::max(hit_busy_until_, ready);
+    return {true, ready, false};
   }
   auto [it, inserted] = mshr_.try_emplace(addr);
   it->second.push_back(waiter);

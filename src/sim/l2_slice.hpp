@@ -53,11 +53,19 @@ class L2Slice {
 
   [[nodiscard]] const util::HitRate& hit_rate() const { return cache_.hit_rate(); }
 
+  // Cycle-attribution profiler probes. The hit window is a span prefix: a
+  // hit answered at `now` occupies the slice until now + l2_latency, and no
+  // new hit can start during a run-loop fast-forward.
+  [[nodiscard]] Cycle hit_busy_until() const { return hit_busy_until_; }
+  /// True while at least one MSHR entry awaits its DRAM fill.
+  [[nodiscard]] bool has_pending_fills() const { return !mshr_.empty(); }
+
  private:
   const GpuConfig& config_;
   MemoryController* controller_;
   SetAssocCache cache_;
   std::unordered_map<Addr, std::vector<Waiter>> mshr_;
+  Cycle hit_busy_until_ = 0;
 };
 
 }  // namespace sealdl::sim

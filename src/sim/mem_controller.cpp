@@ -60,6 +60,7 @@ Cycle MemoryController::fetch_counter(Cycle now, Addr addr, bool for_write) {
       probe_->on_transfer(*insert.writeback, static_cast<std::uint32_t>(bytes), true, false);
     }
   }
+  counter_busy_until_ = std::max(counter_busy_until_, dram_busy_until());
   return done;
 }
 
@@ -147,6 +148,7 @@ Cycle MemoryController::flush(Cycle now) {
     drained = std::max(drained, dram_.schedule(now, bytes));
     if (probe_) probe_->on_transfer(cline, static_cast<std::uint32_t>(bytes), true, false);
   }
+  counter_busy_until_ = std::max(counter_busy_until_, dram_busy_until());
   return drained;
 }
 

@@ -15,6 +15,7 @@
 // finds Counter no faster than Direct on a bandwidth-starved GPU (§II-B).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 
@@ -80,6 +81,21 @@ class MemoryController {
     return counter_cache_ ? &counter_cache_->hit_rate() : nullptr;
   }
 
+  // Busy-window edges for the cycle-attribution profiler. A reservation
+  // pipe is occupied from "now" until its next_free cycle, so each window
+  // is a prefix of any span that starts at or after the last schedule()
+  // call — the property the profiler's exact partition relies on.
+  [[nodiscard]] Cycle dram_busy_until() const {
+    return static_cast<Cycle>(std::ceil(dram_.next_free()));
+  }
+  [[nodiscard]] Cycle aes_busy_until() const {
+    return static_cast<Cycle>(std::ceil(aes_.next_free()));
+  }
+  /// Last cycle the DRAM pipe is known to be moving counter blocks (fills,
+  /// writebacks, end-of-run flushes). Attribution priority gives these
+  /// cycles to the counter_traffic bucket ahead of data service.
+  [[nodiscard]] Cycle counter_busy_until() const { return counter_busy_until_; }
+
  private:
   /// Books the counter-fetch portion of a counter-mode access; returns the
   /// cycle the counter value is available. May inject counter-line DRAM
@@ -100,6 +116,7 @@ class MemoryController {
   std::uint64_t encrypted_bytes_ = 0;
   std::uint64_t bypassed_bytes_ = 0;
   std::uint64_t counter_traffic_bytes_ = 0;
+  Cycle counter_busy_until_ = 0;
 };
 
 }  // namespace sealdl::sim

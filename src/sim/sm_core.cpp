@@ -13,6 +13,7 @@ SmCore::SmCore(const GpuConfig& config, int sm_id,
 void SmCore::load_programs(std::vector<WarpProgramPtr> programs) {
   assert(programs.size() <= warps_.size());
   live_warps_ = 0;
+  barrier_waiters_ = 0;
   ready_.clear();
   window_wait_.clear();
   sm_outstanding_ = 0;
@@ -52,6 +53,7 @@ bool SmCore::prepare(int idx, WarpState& warp) {
         warp.wait = WarpWait::kLoads;  // re-queued by on_load_return()
         warp.wait_threshold = threshold;
         ++barrier_parks_;
+        ++barrier_waiters_;
         return false;
       }
       warp.op.reset();  // satisfied barrier costs no issue slot
@@ -129,6 +131,7 @@ void SmCore::on_load_return(int warp_id) {
       warp.outstanding_loads <= warp.wait_threshold) {
     warp.wait = WarpWait::kReady;
     ready_.push_back(warp_id);
+    --barrier_waiters_;
   }
   // A free window slot may unblock parked warps; let them re-check.
   if (!window_wait_.empty()) {

@@ -45,6 +45,14 @@ class SmCore {
   [[nodiscard]] std::uint64_t window_stalls() const { return window_stalls_; }
   [[nodiscard]] std::uint64_t barrier_parks() const { return barrier_parks_; }
 
+  // Instantaneous wait-state census (cycle-attribution profiler): how many
+  // launched warps are currently parked on a WaitLoads barrier vs. the full
+  // per-SM load window. Pre-launch warps count in neither (they are idle).
+  [[nodiscard]] int barrier_waiters() const { return barrier_waiters_; }
+  [[nodiscard]] int window_waiters() const {
+    return static_cast<int>(window_wait_.size());
+  }
+
   /// True if at least one warp could issue right now (used by the simulator's
   /// idle-cycle fast-forward).
   [[nodiscard]] bool has_ready_warp() const { return !ready_.empty(); }
@@ -85,6 +93,7 @@ class SmCore {
   Cycle next_launch_cycle_ = 0;
   int launch_count_ = 0;         ///< total warps to launch
   int live_warps_ = 0;
+  int barrier_waiters_ = 0;  ///< launched warps in kLoads (see prepare())
   int sm_outstanding_ = 0;
   std::uint64_t instructions_ = 0;
   std::uint64_t compute_issued_ = 0;

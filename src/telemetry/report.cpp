@@ -2,10 +2,51 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
+#include "telemetry/profiler.hpp"
 #include "util/logging.hpp"
 
+#ifndef SEALDL_VERSION_STRING
+#define SEALDL_VERSION_STRING "0.0.0-dev"
+#endif
+
 namespace sealdl::telemetry {
+
+std::uint64_t config_fnv1a_hash(const sim::GpuConfig& config) {
+  util::JsonWriter json;
+  write_config_json(json, config);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : json.str()) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Provenance make_provenance(const sim::GpuConfig& config, int jobs,
+                           std::vector<std::string> schemes) {
+  Provenance prov;
+  prov.version = SEALDL_VERSION_STRING;
+  prov.schemes = std::move(schemes);
+  prov.config_hash = config_fnv1a_hash(config);
+  prov.host_cores = static_cast<int>(std::thread::hardware_concurrency());
+  prov.jobs = jobs;
+  return prov;
+}
+
+void write_provenance_json(util::JsonWriter& json, const Provenance& prov) {
+  json.begin_object();
+  json.field("version", prov.version);
+  json.key("schemes").begin_array();
+  for (const std::string& scheme : prov.schemes) json.value(scheme);
+  json.end_array();
+  json.field("config_hash", prov.config_hash);
+  json.field("host_cores", prov.host_cores);
+  json.field("jobs", prov.jobs);
+  json.end_object();
+}
 
 void write_config_json(util::JsonWriter& json, const sim::GpuConfig& config) {
   json.begin_object();
@@ -86,11 +127,13 @@ std::string run_report_json(const RunInfo& info, const sim::GpuConfig& config,
                             const RunTelemetry& telemetry) {
   util::JsonWriter json;
   json.begin_object();
-  json.field("schema_version", std::uint64_t{1});
+  json.field("schema_version", std::uint64_t{2});
   json.field("tool", info.tool);
   json.field("workload", info.workload);
   json.field("scheme", info.scheme);
   json.field("seed", info.seed);
+  json.key("provenance");
+  write_provenance_json(json, info.provenance);
   json.key("config");
   write_config_json(json, config);
   json.key("aggregate");
@@ -111,10 +154,15 @@ std::string run_report_json(const RunInfo& info, const sim::GpuConfig& config,
       json.field("dram_util", sample.dram_util);
       json.field("aes_util", sample.aes_util);
       json.field("dram_bytes", sample.dram_bytes);
+      json.field("window_waiters", sample.window_waiters);
+      json.field("barrier_waiters", sample.barrier_waiters);
       json.end_object();
     }
   }
   json.end_array();
+
+  json.key("profile");
+  write_cycle_profile_json(json, telemetry.profile());
 
   json.key("metrics");
   telemetry.registry().write_json(json);

@@ -1,20 +1,48 @@
 // Schema-stable JSON run report.
 //
-// Layout (schema_version 1, see docs/OBSERVABILITY.md):
-//   { "schema_version": 1, "tool": ..., "workload": ..., "scheme": ...,
-//     "seed": ..., "config": {...}, "aggregate": {...},
-//     "layers": [ {...}, ... ], "series": [ {...}, ... ], "metrics": {...} }
+// Layout (schema_version 2, see docs/OBSERVABILITY.md):
+//   { "schema_version": 2, "tool": ..., "workload": ..., "scheme": ...,
+//     "seed": ..., "provenance": {...}, "config": {...}, "aggregate": {...},
+//     "layers": [ {...}, ... ], "series": [ {...}, ... ],
+//     "profile": [ {...}, ... ], "metrics": {...} }
 //
 // The document is deterministic: no timestamps, sorted metric names, fixed
-// float formatting — two identical runs serialize byte-identically.
+// float formatting — two identical runs serialize byte-identically. The
+// provenance block is the one part that may legitimately differ between
+// otherwise-identical runs (jobs, host cores); determinism gates that
+// compare across job counts strip it first.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "sim/gpu_config.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace sealdl::telemetry {
+
+/// Build/run provenance stamped into every report: enough to answer "what
+/// produced this file" without consulting the shell history.
+struct Provenance {
+  std::string version;               ///< tool version (SEALDL_VERSION_STRING)
+  std::vector<std::string> schemes;  ///< scheme labels exercised by the run
+  std::uint64_t config_hash = 0;     ///< FNV-1a of the serialized config
+  int host_cores = 0;                ///< std::thread::hardware_concurrency
+  int jobs = 0;                      ///< --jobs the run was invoked with
+};
+
+/// FNV-1a over the deterministic serialized config (write_config_json), so
+/// two reports with equal hashes modeled the same machine.
+[[nodiscard]] std::uint64_t config_fnv1a_hash(const sim::GpuConfig& config);
+
+/// Fills every Provenance field: compiled-in version, detected host cores,
+/// the config hash, plus the caller's scheme labels and job count.
+[[nodiscard]] Provenance make_provenance(const sim::GpuConfig& config,
+                                         int jobs,
+                                         std::vector<std::string> schemes);
+
+/// Writes one provenance object value.
+void write_provenance_json(util::JsonWriter& json, const Provenance& prov);
 
 /// Everything about a run that is not measured: identity and intent.
 struct RunInfo {
@@ -22,6 +50,7 @@ struct RunInfo {
   std::string workload;  ///< e.g. "vgg16", "gemm-1024"
   std::string scheme;    ///< e.g. "seal-c"
   std::uint64_t seed = 0;
+  Provenance provenance;  ///< fill via make_provenance()
 };
 
 /// Serializes the full run report.

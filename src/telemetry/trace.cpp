@@ -31,6 +31,84 @@ void write_counter(util::JsonWriter& json, const char* track, double ts,
   json.end_object();
 }
 
+/// One async ("b"/"e") span on the request's own id-scoped track. All spans
+/// of one request share its id, so Perfetto renders the lifecycle stages as
+/// one causally ordered chain.
+void write_async_span(util::JsonWriter& json, const std::string& name,
+                      std::uint64_t id, double ts, double dur) {
+  json.begin_object();
+  json.field("name", name);
+  json.field("cat", "request");
+  json.field("ph", "b");
+  json.field("id", id);
+  json.field("ts", ts);
+  json.field("pid", 0);
+  json.field("tid", 1);
+  json.end_object();
+  json.begin_object();
+  json.field("name", name);
+  json.field("cat", "request");
+  json.field("ph", "e");
+  json.field("id", id);
+  json.field("ts", ts + dur);
+  json.field("pid", 0);
+  json.field("tid", 1);
+  json.end_object();
+}
+
+/// Flow start/finish pair ("s"/"f") linking a request's queue stage to the
+/// batch span that executed it.
+void write_flow(util::JsonWriter& json, const char* phase, std::uint64_t id,
+                double ts) {
+  json.begin_object();
+  json.field("name", "dispatch");
+  json.field("cat", "request");
+  json.field("ph", phase);
+  json.field("id", id);
+  json.field("ts", ts);
+  json.field("pid", 0);
+  json.field("tid", 1);
+  if (phase[0] == 'f') json.field("bp", "e");
+  json.end_object();
+}
+
+/// Emits one request's lifecycle as causally-linked async spans: an
+/// umbrella span over the whole life plus one child span per non-empty
+/// stage, and a flow arrow from the end of the queue stage into the
+/// dispatched batch.
+void write_request_spans(util::JsonWriter& json,
+                         const RequestSpanRecord& request,
+                         const sim::GpuConfig& config) {
+  const double arrival = static_cast<double>(request.arrival);
+  const double total = request.backlog_cycles + request.queue_cycles +
+                       request.dispatch_cycles + request.execute_cycles;
+  const std::string label =
+      "req" + std::to_string(request.id) + "/" + request.network;
+  write_async_span(json, label + " [" + request.outcome + "]", request.id,
+                   to_us(arrival, config), to_us(total, config));
+  double at = arrival;
+  const struct {
+    const char* name;
+    double cycles;
+  } stages[] = {{"backlog", request.backlog_cycles},
+                {"queue", request.queue_cycles},
+                {"dispatch", request.dispatch_cycles},
+                {"execute", request.execute_cycles}};
+  for (const auto& stage : stages) {
+    if (stage.cycles > 0.0) {
+      write_async_span(json, stage.name, request.id, to_us(at, config),
+                       to_us(stage.cycles, config));
+    }
+    at += stage.cycles;
+  }
+  if (request.batch != 0) {
+    const double dispatch_at =
+        arrival + request.backlog_cycles + request.queue_cycles;
+    write_flow(json, "s", request.id, to_us(dispatch_at, config));
+    write_flow(json, "f", request.id, to_us(dispatch_at, config));
+  }
+}
+
 }  // namespace
 
 std::string chrome_trace_json(const RunInfo& info, const sim::GpuConfig& config,
@@ -43,6 +121,9 @@ std::string chrome_trace_json(const RunInfo& info, const sim::GpuConfig& config,
   write_metadata(json, "process_name", 0, -1,
                  info.tool + ": " + info.workload + " / " + info.scheme);
   write_metadata(json, "thread_name", 0, 0, "layers");
+  if (!telemetry.requests().empty()) {
+    write_metadata(json, "thread_name", 0, 1, "requests");
+  }
 
   for (const LayerPhaseRecord& layer : telemetry.layers()) {
     json.begin_object();
@@ -64,6 +145,10 @@ std::string chrome_trace_json(const RunInfo& info, const sim::GpuConfig& config,
     json.end_object();
   }
 
+  for (const RequestSpanRecord& request : telemetry.requests()) {
+    write_request_spans(json, request, config);
+  }
+
   if (const IntervalSampler* sampler = telemetry.sampler()) {
     for (const TimeSample& sample : sampler->samples()) {
       const double ts = to_us(static_cast<double>(sample.cycle), config);
@@ -72,6 +157,10 @@ std::string chrome_trace_json(const RunInfo& info, const sim::GpuConfig& config,
       write_counter(json, "AES utilization", ts, "util", sample.aes_util);
       write_counter(json, "DRAM bytes/interval", ts, "bytes",
                     static_cast<double>(sample.dram_bytes));
+      write_counter(json, "Window-stalled warps", ts, "warps",
+                    sample.window_waiters);
+      write_counter(json, "Barrier-parked warps", ts, "warps",
+                    sample.barrier_waiters);
     }
   }
 

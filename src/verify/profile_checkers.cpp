@@ -1,0 +1,66 @@
+#include "verify/profile_checkers.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sealdl::verify {
+
+namespace {
+
+void add_error(Report& report, const char* rule, std::string message) {
+  Diagnostic diagnostic;
+  diagnostic.rule = rule;
+  diagnostic.severity = Severity::kError;
+  diagnostic.message = std::move(message);
+  report.add(std::move(diagnostic));
+}
+
+}  // namespace
+
+std::vector<std::string> profile_rules() {
+  return {"profile.conservation", "profile.total", "profile.serve.stages"};
+}
+
+void check_cycle_profile(const telemetry::CycleProfile& profile,
+                         Report& report) {
+  for (const telemetry::LayerCycleProfile& layer : profile.layers) {
+    for (const telemetry::ComponentProfile& comp : layer.components) {
+      const std::uint64_t sum = comp.bucket_sum();
+      if (sum != comp.total_cycles) {
+        add_error(report, "profile.conservation",
+                  "layer '" + layer.layer + "' component " + comp.name +
+                      ": buckets sum to " + std::to_string(sum) +
+                      " cycles but the component was profiled for " +
+                      std::to_string(comp.total_cycles));
+      }
+      if (comp.total_cycles != layer.total_cycles) {
+        add_error(report, "profile.total",
+                  "layer '" + layer.layer + "' component " + comp.name +
+                      ": total " + std::to_string(comp.total_cycles) +
+                      " disagrees with the layer total " +
+                      std::to_string(layer.total_cycles));
+      }
+    }
+  }
+}
+
+void check_serve_stage_totals(double stage_cycles_sum,
+                              double latency_cycles_sum, Report& report) {
+  const double scale = std::max(1.0, std::fabs(latency_cycles_sum));
+  if (!(std::fabs(stage_cycles_sum - latency_cycles_sum) <= 1e-9 * scale)) {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "lifecycle stages sum to %.6f cycles but measured "
+                  "end-to-end latency sums to %.6f",
+                  stage_cycles_sum, latency_cycles_sum);
+    add_error(report, "profile.serve.stages", buffer);
+  }
+}
+
+Report run_profile_check(const telemetry::CycleProfile& profile) {
+  Report report;
+  check_cycle_profile(profile, report);
+  return report;
+}
+
+}  // namespace sealdl::verify

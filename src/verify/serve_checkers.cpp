@@ -26,7 +26,8 @@ std::string fmt(const char* format, double value) {
 std::vector<std::string> serve_option_rules() {
   return {"serve.options.rate",   "serve.options.duration",
           "serve.options.queue",  "serve.options.policy",
-          "serve.options.jobs",   "serve.options.overhead"};
+          "serve.options.jobs",   "serve.options.overhead",
+          "serve.options.live",   "serve.options.profile"};
 }
 
 void check_serve_options(const serve::ServeOptions& options, int jobs,
@@ -73,6 +74,23 @@ void check_serve_options(const serve::ServeOptions& options, int jobs,
     add_error(report, "serve.options.overhead",
               fmt("dispatch overhead must be finite and >= 0 cycles (got %g)",
                   options.dispatch_overhead_cycles));
+  }
+  if (options.live_stats &&
+      (!(options.live_stats_interval_s > 0.0) ||
+       !std::isfinite(options.live_stats_interval_s))) {
+    add_error(report, "serve.options.live",
+              fmt("live-stats interval must be positive seconds (got %g)",
+                  options.live_stats_interval_s));
+  }
+  if (options.profile) {
+    if (options.profile_path.empty()) {
+      add_error(report, "serve.options.profile",
+                "profile output path must be non-empty");
+    } else if (options.profile_path.back() == '/') {
+      add_error(report, "serve.options.profile",
+                "profile output path '" + options.profile_path +
+                    "' names a directory, not a writable file");
+    }
   }
 }
 

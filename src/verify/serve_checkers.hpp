@@ -16,6 +16,10 @@
 //   serve.options.policy    overload policy is a declared enumerator
 //   serve.options.jobs      profiling --jobs is >= 1, or 0 = auto
 //   serve.options.overhead  dispatch overhead is finite and >= 0 cycles
+//   serve.options.live      --live-stats interval is a positive finite
+//                           second count
+//   serve.options.profile   --profile-out path is non-empty and not a
+//                           directory
 #pragma once
 
 #include <string>

@@ -38,6 +38,7 @@ struct LayerOutcome {
   LayerResult result;
   telemetry::MetricsRegistry metrics;
   std::vector<telemetry::TimeSample> samples;
+  std::optional<telemetry::LayerCycleProfile> profile;
 };
 
 /// Simulates one laid-out layer. Reads only shared-immutable state (layout,
@@ -47,17 +48,26 @@ LayerOutcome simulate_layer(const core::LayerAddressing& layer,
                             const sim::GpuConfig& config,
                             const sim::SecureMap& secure_map,
                             const RunOptions& options, int num_warps,
-                            bool collect_metrics, sim::Cycle sample_interval) {
+                            bool collect_metrics, sim::Cycle sample_interval,
+                            bool profile) {
   LayerWork work =
       make_layer_programs(layer, num_warps, options.max_tiles_per_layer);
   sim::GpuSimulator simulator(config, &secure_map);
   simulator.load_work(std::move(work.programs));
   // Private sampler at offset 0: samples carry layer-local cycles and are
   // shifted onto the global timeline when the segments are spliced in order.
+  // The private sampler is never capped — decimation happens once, at the
+  // shared sink, so serial and parallel runs see identical raw streams.
   std::optional<telemetry::IntervalSampler> sampler;
   if (sample_interval) {
     sampler.emplace(sample_interval);
     simulator.set_sampler(&*sampler);
+  }
+  // Same task-private discipline for the cycle-attribution profiler.
+  std::optional<telemetry::CycleProfiler> profiler;
+  if (profile) {
+    profiler.emplace();
+    simulator.set_profiler(&*profiler);
   }
   simulator.run();
 
@@ -76,6 +86,10 @@ LayerOutcome simulate_layer(const core::LayerAddressing& layer,
     telemetry::collect_component_metrics(simulator, outcome.metrics);
   }
   if (sampler) outcome.samples = sampler->samples();
+  if (profiler) {
+    outcome.profile = profiler->take_profile();
+    outcome.profile->layer = outcome.result.name;
+  }
   SEALDL_DEBUG << "layer " << outcome.result.name << ": "
                << outcome.result.stats.cycles << " cycles, ipc "
                << outcome.result.stats.ipc() << ", scale "
@@ -95,6 +109,9 @@ void merge_outcome(LayerOutcome outcome, const sim::GpuConfig& config,
     collect->layers().push_back(telemetry::make_layer_record(
         outcome.result.name, outcome.result.stats, config, outcome.result.scale,
         collect->timeline()));
+    if (outcome.profile) {
+      collect->profile().layers.push_back(std::move(*outcome.profile));
+    }
     collect->registry().merge_from(outcome.metrics);
     collect->registry()
         .histogram("layer/latency_ms", 0.0, 100.0, 200)
@@ -132,13 +149,14 @@ NetworkResult run_specs(const std::vector<models::LayerSpec>& specs,
   const bool collect_metrics = collect != nullptr;
   const sim::Cycle sample_interval =
       collect && collect->sampler() ? collect->sampler()->interval() : 0;
+  const bool profile = collect && collect->profiling();
 
   const int jobs = options.jobs == 1 ? 1 : util::ThreadPool::resolve_jobs(options.jobs);
   if (jobs <= 1 || indices.size() <= 1) {
     for (const std::size_t idx : indices) {
       merge_outcome(simulate_layer(layout.layers().at(idx), config,
                                    heap.secure_map(), options, num_warps,
-                                   collect_metrics, sample_interval),
+                                   collect_metrics, sample_interval, profile),
                     config, collect, result);
     }
     return result;
@@ -154,10 +172,11 @@ NetworkResult run_specs(const std::vector<models::LayerSpec>& specs,
   futures.reserve(indices.size());
   for (const std::size_t idx : indices) {
     futures.push_back(pool.submit([&layout, &config, &heap, &options, num_warps,
-                                   collect_metrics, sample_interval, idx] {
+                                   collect_metrics, sample_interval, profile,
+                                   idx] {
       return simulate_layer(layout.layers().at(idx), config, heap.secure_map(),
                             options, num_warps, collect_metrics,
-                            sample_interval);
+                            sample_interval, profile);
     }));
   }
   // Merge strictly in submission (= spec) order; get() rethrows the first

@@ -125,6 +125,9 @@ void expect_runs_identical(const SimRun& serial, const SimRun& parallel) {
     EXPECT_EQ(sa->samples()[i].dram_util, sb->samples()[i].dram_util);
     EXPECT_EQ(sa->samples()[i].aes_util, sb->samples()[i].aes_util);
     EXPECT_EQ(sa->samples()[i].dram_bytes, sb->samples()[i].dram_bytes);
+    EXPECT_EQ(sa->samples()[i].window_waiters, sb->samples()[i].window_waiters);
+    EXPECT_EQ(sa->samples()[i].barrier_waiters,
+              sb->samples()[i].barrier_waiters);
   }
 }
 

@@ -259,10 +259,12 @@ TEST(RunReport, SchemaContainsEveryLayerAndIsValidJson) {
   EXPECT_TRUE(JsonChecker(report).valid()) << report;
 
   // Golden schema: top-level keys in order.
-  const char* keys[] = {"\"schema_version\":1", "\"tool\":",   "\"workload\":",
-                        "\"scheme\":",          "\"seed\":",   "\"config\":",
-                        "\"aggregate\":",       "\"layers\":", "\"series\":",
-                        "\"metrics\":"};
+  const char* keys[] = {"\"schema_version\":2", "\"tool\":",
+                        "\"workload\":",        "\"scheme\":",
+                        "\"seed\":",            "\"provenance\":",
+                        "\"config\":",          "\"aggregate\":",
+                        "\"layers\":",          "\"series\":",
+                        "\"profile\":",         "\"metrics\":"};
   std::size_t last = 0;
   for (const char* key : keys) {
     const std::size_t at = report.find(key, last);

@@ -21,6 +21,7 @@
 #include "util/json.hpp"
 #include "verify/checker.hpp"
 #include "verify/concurrency.hpp"
+#include "verify/profile_checkers.hpp"
 #include "verify/serve_checkers.hpp"
 
 using namespace sealdl;
@@ -56,6 +57,9 @@ void list_rules() {
   // printed by --list-rules stays the single complete index.
   for (const std::string& rule : verify::serve_option_rules()) {
     std::printf("%-16s (validated by sealdl-serve)\n", rule.c_str());
+  }
+  for (const std::string& rule : verify::profile_rules()) {
+    std::printf("%-16s (validated by sealdl-sim/sealdl-serve)\n", rule.c_str());
   }
   for (const std::string& rule : verify::lock_audit_rules()) {
     std::printf("%-16s (runtime lock auditor, SEALDL_LOCK_AUDIT)\n",

@@ -13,7 +13,13 @@
 // Telemetry sinks (see docs/OBSERVABILITY.md):
 //   --json report.json        run report: profile layers + batch spans +
 //                             serve/* counters and latency histograms
-//   --trace serve.trace.json  Perfetto trace with one span per batch
+//   --trace serve.trace.json  Perfetto trace with one span per batch plus a
+//                             causally-linked span chain per request
+//   --live-stats 0.25         stream one NDJSON progress line to stdout per
+//                             0.25 s of simulated time
+//   --profile-out spans.ndjson
+//                             per-request lifecycle stage decomposition,
+//                             one NDJSON record per request
 //
 // Exit codes: 0 success, 1 runtime error, 2 invalid serving configuration —
 // the config is statically validated up front (verify/serve_checkers.hpp,
@@ -29,7 +35,9 @@
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
+#include "verify/profile_checkers.hpp"
 #include "verify/serve_checkers.hpp"
 
 using namespace sealdl;
@@ -83,6 +91,10 @@ int run(int argc, char** argv) {
   serve_options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   serve_options.dispatch_overhead_cycles =
       flags.get_double("dispatch-overhead", 20000.0);
+  serve_options.live_stats = flags.has("live-stats");
+  serve_options.live_stats_interval_s = flags.get_double("live-stats", 0.25);
+  serve_options.profile = flags.has("profile-out");
+  serve_options.profile_path = flags.get("profile-out", "");
 
   // Static config validation: collect every violation (including an
   // unparsable --policy) into one report so the operator sees the full
@@ -112,7 +124,7 @@ int run(int argc, char** argv) {
   const auto sample_interval =
       static_cast<sim::Cycle>(flags.get_int("sample-interval", 0));
   std::unique_ptr<telemetry::RunTelemetry> collect;
-  if (!json_path.empty() || !trace_path.empty()) {
+  if (!json_path.empty() || !trace_path.empty() || serve_options.profile) {
     telemetry::TelemetryOptions topts;
     topts.sample_interval = sample_interval;
     collect = std::make_unique<telemetry::RunTelemetry>(topts);
@@ -133,8 +145,28 @@ int run(int argc, char** argv) {
 
   const serve::ServiceModel model(networks, config, run_options,
                                   serve_options.max_batch, jobs, collect.get());
-  const serve::ServeReport report =
-      serve::run_server(model, serve_options, config, collect.get());
+  // NDJSON progress lines go to stdout so they can be piped while the table
+  // still prints at the end.
+  serve::LiveStatsSink live_sink;
+  if (serve_options.live_stats) {
+    live_sink = [](const std::string& line) {
+      std::printf("%s\n", line.c_str());
+    };
+  }
+  const serve::ServeReport report = serve::run_server(
+      model, serve_options, config, collect.get(), live_sink);
+
+  // Lifecycle reconciliation: the per-stage sums must equal the measured
+  // end-to-end latency sum (rule profile.serve.stages). A failure here is a
+  // scheduler accounting bug, not a configuration error.
+  verify::Report stage_report;
+  verify::check_serve_stage_totals(report.stage_cycles_sum,
+                                   report.latency_cycles_sum, stage_report);
+  if (stage_report.error_count() > 0) {
+    std::fputs(stage_report.to_text().c_str(), stderr);
+    std::fprintf(stderr, "sealdl-serve: lifecycle stages do not reconcile\n");
+    return 1;
+  }
 
   std::printf("sealdl-serve: %s, scheme %s, %.1f req/s for %.2f s, queue %zu, "
               "batch <= %d, policy %s\n",
@@ -157,12 +189,30 @@ int run(int argc, char** argv) {
   table.add_row({"drop rate", util::Table::pct(report.drop_rate)});
   table.print();
 
+  // Per-stage latency decomposition of completed requests (lifecycle spans:
+  // backlog -> queue -> dispatch -> execute).
+  util::Table stages({"stage", "p50", "p95", "p99"});
+  const auto stage_row = [&stages](const char* name,
+                                   const serve::StageLatency& stage) {
+    stages.add_row({name, util::Table::fmt(stage.p50_ms, 2) + " ms",
+                    util::Table::fmt(stage.p95_ms, 2) + " ms",
+                    util::Table::fmt(stage.p99_ms, 2) + " ms"});
+  };
+  stage_row("backlog", report.stage_backlog);
+  stage_row("queue", report.stage_queue);
+  stage_row("dispatch", report.stage_dispatch);
+  stage_row("execute", report.stage_execute);
+  std::printf("\nstage latency (completed requests)\n");
+  stages.print();
+
   if (collect) {
     telemetry::RunInfo info;
     info.tool = "sealdl-serve";
     info.workload = networks_csv;
     info.scheme = scheme_name;
     info.seed = serve_options.seed;
+    info.provenance =
+        telemetry::make_provenance(config, jobs, {scheme_name});
     if (!json_path.empty()) {
       telemetry::write_text_file(
           json_path, telemetry::run_report_json(info, config, *collect));
@@ -170,6 +220,27 @@ int run(int argc, char** argv) {
     if (!trace_path.empty()) {
       telemetry::write_text_file(
           trace_path, telemetry::chrome_trace_json(info, config, *collect));
+    }
+    if (serve_options.profile) {
+      // One NDJSON record per request, in lifecycle-completion order.
+      std::string ndjson;
+      for (const telemetry::RequestSpanRecord& span : collect->requests()) {
+        util::JsonWriter json;
+        json.begin_object();
+        json.field("id", span.id);
+        json.field("network", span.network);
+        json.field("outcome", span.outcome);
+        json.field("arrival", span.arrival);
+        json.field("backlog_cycles", span.backlog_cycles);
+        json.field("queue_cycles", span.queue_cycles);
+        json.field("dispatch_cycles", span.dispatch_cycles);
+        json.field("execute_cycles", span.execute_cycles);
+        json.field("batch", span.batch);
+        json.end_object();
+        ndjson += json.str();
+        ndjson += '\n';
+      }
+      telemetry::write_text_file(serve_options.profile_path, ndjson);
     }
   }
   return 0;

@@ -15,18 +15,29 @@
 //   --json report.json        machine-readable run report
 //   --trace run.trace.json    Chrome trace-event file (Perfetto-compatible)
 //   --sample-interval 10000   time-series sampling period in cycles
+//   --max-samples 4096        cap the time series (2x decimation past cap)
+//   --profile                 cycle-attribution profiler ("profile" report key)
+//   --profile-folded out.txt  collapsed-stack flamegraph export
+//
+// Every profiled run is checked against the profile.* rule family; the
+// hidden --inject-profile <conservation|total> flag seeds a violation and
+// exits 0 only if the checker catches it (self-test, same discipline as
+// sealdl-check --inject).
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "models/layer_spec.hpp"
 #include "sim/gpu_simulator.hpp"
 #include "telemetry/collect.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "verify/profile_checkers.hpp"
 #include "workload/gemm_trace.hpp"
 #include "workload/network_runner.hpp"
 
@@ -97,16 +108,29 @@ int run(int argc, char** argv) {
       flags.get_double("engine-gbps", config.engine.throughput_gbps);
   config.dram_total_gbps = flags.get_double("dram-gbps", config.dram_total_gbps);
 
-  // Telemetry sinks are strictly opt-in; with neither --json nor --trace the
-  // simulation path is identical to a telemetry-free build.
+  // Telemetry sinks are strictly opt-in; with none of --json/--trace/--profile
+  // the simulation path is identical to a telemetry-free build.
   const std::string json_path = flags.get("json", "");
   const std::string trace_path = flags.get("trace", "");
   const auto sample_interval =
       static_cast<sim::Cycle>(flags.get_int("sample-interval", 10000));
+  const auto max_samples =
+      static_cast<std::size_t>(flags.get_int("max-samples", 0));
+  const std::string folded_path = flags.get("profile-folded", "");
+  const std::string inject_profile = flags.get("inject-profile", "");
+  if (!inject_profile.empty() && inject_profile != "conservation" &&
+      inject_profile != "total") {
+    throw std::invalid_argument("unknown --inject-profile " + inject_profile +
+                                " (conservation|total)");
+  }
+  const bool profile = flags.get_bool("profile", false) ||
+                       !folded_path.empty() || !inject_profile.empty();
   std::unique_ptr<telemetry::RunTelemetry> collect;
-  if (!json_path.empty() || !trace_path.empty()) {
+  if (!json_path.empty() || !trace_path.empty() || profile) {
     telemetry::TelemetryOptions topts;
     topts.sample_interval = sample_interval;
+    topts.max_samples = max_samples;
+    topts.profile = profile;
     collect = std::make_unique<telemetry::RunTelemetry>(topts);
   }
   telemetry::RunInfo info;
@@ -142,6 +166,11 @@ int run(int argc, char** argv) {
     sim::GpuSimulator simulator(config);
     simulator.load_work(std::move(programs));
     if (collect && collect->sampler()) simulator.set_sampler(collect->sampler());
+    std::optional<telemetry::CycleProfiler> profiler;
+    if (collect && collect->profiling()) {
+      profiler.emplace();
+      simulator.set_profiler(&*profiler);
+    }
     simulator.run();
     std::printf("GEMM %dx%dx%d, scheme %s%s\n", spec.m, spec.n, spec.k,
                 sim::scheme_name(config.scheme),
@@ -156,6 +185,11 @@ int run(int argc, char** argv) {
           "gemm", simulator.stats(), config, scale, 0));
       telemetry::collect_component_metrics(simulator, collect->registry());
       collect->advance_timeline(simulator.stats().cycles);
+      if (profiler) {
+        telemetry::LayerCycleProfile layer_profile = profiler->take_profile();
+        layer_profile.layer = "gemm";
+        collect->profile().layers.push_back(std::move(layer_profile));
+      }
     }
   } else if (workload == "conv" || workload == "pool" || workload == "fc") {
     models::LayerSpec spec;
@@ -211,6 +245,41 @@ int run(int argc, char** argv) {
     // run_specs() applies the scheme's selectivity before simulating; mirror
     // it so the exported config matches what actually ran.
     config.selective = choice.selective;
+    info.provenance = telemetry::make_provenance(config, options.jobs,
+                                                 {flags.get("scheme", "baseline")});
+    if (collect->profiling()) {
+      if (!inject_profile.empty()) {
+        // Self-test: corrupt one bucket, then demand the matching rule fires.
+        telemetry::CycleProfile& profile = collect->profile();
+        if (profile.empty() || profile.layers.front().components.empty()) {
+          std::fprintf(stderr, "--inject-profile: no profile data to corrupt\n");
+          return 1;
+        }
+        telemetry::ComponentProfile& victim =
+            profile.layers.front().components.front();
+        victim.buckets[0] += 1;  // breaks conservation (sum != total)
+        const char* rule = "profile.conservation";
+        if (inject_profile == "total") {
+          victim.total_cycles += 1;  // restores conservation, breaks total
+          rule = "profile.total";
+        }
+        const verify::Report check = verify::run_profile_check(profile);
+        if (check.fired(rule)) {
+          std::printf("injected profile violation caught (%s)\n", rule);
+          return 0;
+        }
+        std::fprintf(stderr, "MISSED injected profile violation (%s)\n", rule);
+        return 1;
+      }
+      const verify::Report check =
+          verify::run_profile_check(collect->profile());
+      if (check.error_count() > 0) {
+        std::fputs(check.to_text().c_str(), stderr);
+        std::fprintf(stderr, "sealdl-sim: cycle profile violates the "
+                             "profile.* invariants\n");
+        return 1;
+      }
+    }
     if (!json_path.empty()) {
       telemetry::write_text_file(
           json_path, telemetry::run_report_json(info, config, *collect));
@@ -221,6 +290,14 @@ int run(int argc, char** argv) {
           trace_path, telemetry::chrome_trace_json(info, config, *collect));
       std::printf("wrote Perfetto trace to %s (open at https://ui.perfetto.dev)\n",
                   trace_path.c_str());
+    }
+    if (!folded_path.empty()) {
+      telemetry::write_text_file(
+          folded_path,
+          telemetry::collapsed_stack(info.workload, collect->profile()));
+      std::printf("wrote collapsed-stack profile to %s (feed to flamegraph.pl "
+                  "or speedscope)\n",
+                  folded_path.c_str());
     }
   }
 
