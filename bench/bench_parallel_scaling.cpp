@@ -2,7 +2,7 @@
 // (VGG-16 / ResNet-18 / ResNet-34 under the five schemes) at 1/2/4/8 layer
 // jobs, emitted as BENCH_parallel.json to seed the perf trajectory.
 //
-//   ./bench_parallel_scaling [--tiles 480] [--ratio 0.5] [--input 224] \
+//   ./bench_parallel_scaling [--tiles 480] [--ratio 0.5] [--input 224]
 //       [--out BENCH_parallel.json]
 //
 // Every jobs level simulates the identical workload (the runner is

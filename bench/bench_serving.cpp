@@ -1,8 +1,8 @@
 // Serving bench: batched inference latency/throughput under offered load x
 // encryption scheme, emitted as BENCH_serving.json.
 //
-//   ./bench_serving [--tiles 240] [--ratio 0.5] [--duration 0.2] \
-//       [--batch 4] [--queue-depth 16] [--policy drop] [--jobs 1] \
+//   ./bench_serving [--tiles 240] [--ratio 0.5] [--duration 0.2]
+//       [--batch 4] [--queue-depth 16] [--policy drop] [--jobs 1]
 //       [--out BENCH_serving.json]
 //
 // The sweep holds the arrival schedule fixed per rate (same seed for every

@@ -161,4 +161,21 @@ EncryptionPlan EncryptionPlan::for_specs(const std::vector<models::LayerSpec>& s
   return from_row_counts(rows, is_conv, options);
 }
 
+bool EncryptionPlan::row_protected(std::size_t layer, int row) const {
+  if (layer >= layers_.size() || row < 0) return false;
+  const LayerPlan& lp = layers_[layer];
+  if (static_cast<std::size_t>(row) >= lp.encrypted_rows.size()) return false;
+  return lp.row_encrypted(row);
+}
+
+std::vector<int> EncryptionPlan::plaintext_rows(std::size_t layer) const {
+  std::vector<int> rows;
+  if (layer >= layers_.size()) return rows;
+  const LayerPlan& lp = layers_[layer];
+  for (int r = 0; r < static_cast<int>(lp.encrypted_rows.size()); ++r) {
+    if (!lp.row_encrypted(r)) rows.push_back(r);
+  }
+  return rows;
+}
+
 }  // namespace sealdl::core

@@ -90,6 +90,17 @@ class EncryptionPlan {
 
   [[nodiscard]] const PlanOptions& options() const { return options_; }
 
+  /// Provenance query for the taint analyzer: true iff kernel row `row` of
+  /// weight layer `layer` must be ciphertext on the bus under a selective
+  /// scheme. Out-of-range layers/rows report false rather than throwing —
+  /// a malformed plan must degrade into diagnostics, not crash the auditor.
+  [[nodiscard]] bool row_protected(std::size_t layer, int row) const;
+
+  /// The deliberately-unprotected rows of weight layer `layer`, ascending —
+  /// SEAL's exact intended leakage boundary. secure.boundary proves the
+  /// plaintext rows observed on the bus equal this set, no more, no less.
+  [[nodiscard]] std::vector<int> plaintext_rows(std::size_t layer) const;
+
   /// Mutable access to the per-layer slices. Exists for the analyzer's
   /// seeded-violation self-tests (sealdl-check --inject), which corrupt a
   /// real plan to prove every rule can fire; production code never mutates

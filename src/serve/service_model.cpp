@@ -31,7 +31,8 @@ struct ProfileOutcome {
 ProfileOutcome profile_network(const NamedNetwork& network,
                                const sim::GpuConfig& config,
                                workload::RunOptions options,
-                               sim::Cycle sample_interval, bool collect) {
+                               sim::Cycle sample_interval, bool collect,
+                               workload::BusProbeHook* probe_hook) {
   ProfileOutcome outcome;
   if (collect) {
     telemetry::TelemetryOptions topts;
@@ -40,6 +41,7 @@ ProfileOutcome profile_network(const NamedNetwork& network,
   }
   options.telemetry = outcome.telemetry.get();
   options.jobs = 1;  // parallelism lives at the network level here
+  options.probe_hook = probe_hook;
   outcome.result = workload::run_network(network.specs, config, options);
   return outcome;
 }
@@ -70,31 +72,42 @@ ServiceModel::ServiceModel(std::vector<NamedNetwork> networks,
                            const sim::GpuConfig& config,
                            const workload::RunOptions& base_options,
                            int max_batch, int jobs,
-                           telemetry::RunTelemetry* collect) {
+                           telemetry::RunTelemetry* collect,
+                           std::vector<workload::BusProbeHook*> probe_hooks) {
   if (networks.empty()) throw std::invalid_argument("ServiceModel: no networks");
+  if (!probe_hooks.empty() && probe_hooks.size() != networks.size()) {
+    throw std::invalid_argument(
+        "ServiceModel: probe_hooks must be parallel to networks");
+  }
   const bool collecting = collect != nullptr;
   const sim::Cycle sample_interval =
       collecting && collect->sampler() ? collect->sampler()->interval() : 0;
+  const auto hook_for = [&probe_hooks](std::size_t i) {
+    return probe_hooks.empty() ? nullptr : probe_hooks[i];
+  };
 
   std::vector<ProfileOutcome> outcomes;
   outcomes.reserve(networks.size());
   const int workers = jobs == 1 ? 1 : util::ThreadPool::resolve_jobs(jobs);
   if (workers <= 1 || networks.size() <= 1) {
-    for (const NamedNetwork& network : networks) {
-      outcomes.push_back(profile_network(network, config, base_options,
-                                         sample_interval, collecting));
+    for (std::size_t i = 0; i < networks.size(); ++i) {
+      outcomes.push_back(profile_network(networks[i], config, base_options,
+                                         sample_interval, collecting,
+                                         hook_for(i)));
     }
   } else {
     util::ThreadPool pool(static_cast<int>(std::min<std::size_t>(
         static_cast<std::size_t>(workers), networks.size())));
     std::vector<std::future<ProfileOutcome>> futures;
     futures.reserve(networks.size());
-    for (const NamedNetwork& network : networks) {
+    for (std::size_t i = 0; i < networks.size(); ++i) {
+      const NamedNetwork& network = networks[i];
+      workload::BusProbeHook* hook = hook_for(i);
       futures.push_back(
           pool.submit([&network, &config, &base_options, sample_interval,
-                       collecting] {
+                       collecting, hook] {
             return profile_network(network, config, base_options,
-                                   sample_interval, collecting);
+                                   sample_interval, collecting, hook);
           }));
     }
     for (auto& future : futures) outcomes.push_back(future.get());

@@ -6,12 +6,6 @@
 
 namespace sealdl::sim {
 
-namespace {
-// Counter blocks live in a reserved high region of the physical address
-// space, far above any SecureHeap allocation (see core/secure_heap.hpp).
-constexpr Addr kCounterRegionBase = 0x4000'0000'0000ULL;
-}  // namespace
-
 MemoryController::MemoryController(const GpuConfig& config,
                                    const SecureMap* secure_map)
     : config_(config),

@@ -30,6 +30,12 @@ namespace sealdl::sim {
 
 class BusProbe;
 
+/// Counter blocks live in a reserved high region of the physical address
+/// space, far above any SecureHeap allocation (see core/secure_heap.hpp).
+/// Exposed so bus-traffic auditors can classify counter-metadata transfers
+/// by address alone.
+inline constexpr Addr kCounterRegionBase = 0x4000'0000'0000ULL;
+
 class MemoryController {
  public:
   MemoryController(const GpuConfig& config, const SecureMap* secure_map);

@@ -1,5 +1,7 @@
 #include "sim/secure_map.hpp"
 
+#include <algorithm>
+
 namespace sealdl::sim {
 
 void SecureMap::add_range(Addr begin, std::uint64_t size) {
@@ -58,6 +60,21 @@ bool SecureMap::line_is_secure(Addr line_addr, int line_bytes) const {
   // Range begins at or before the line's last byte; intersects iff it ends
   // after the line's first byte.
   return it->second > line_addr;
+}
+
+std::uint64_t SecureMap::secure_bytes_in(Addr begin,
+                                         std::uint64_t size) const {
+  if (size == 0) return 0;
+  const Addr end = begin + size;
+  std::uint64_t total = 0;
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) --it;
+  for (; it != ranges_.end() && it->first < end; ++it) {
+    const Addr lo = std::max(it->first, begin);
+    const Addr hi = std::min(it->second, end);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
 }
 
 std::uint64_t SecureMap::secure_bytes() const {

@@ -34,6 +34,13 @@ class SecureMap {
   /// Total number of secure bytes.
   [[nodiscard]] std::uint64_t secure_bytes() const;
 
+  /// Number of secure bytes inside [begin, begin+size) — the byte-granular
+  /// provenance query behind the taint analyzer: it distinguishes a line
+  /// that is fully secure from one that merely straddles a secure range
+  /// (line_is_secure() treats both as secure).
+  [[nodiscard]] std::uint64_t secure_bytes_in(Addr begin,
+                                              std::uint64_t size) const;
+
   /// Number of disjoint ranges (diagnostics / tests).
   [[nodiscard]] std::size_t range_count() const { return ranges_.size(); }
 

@@ -28,6 +28,10 @@ const std::vector<InjectionInfo>& table() {
       {Injection::kTraceWait, "trace-wait", {"trace.wait"}},
       {Injection::kTraceOrder, "trace-order", {"trace.order"}},
       {Injection::kTraceRegion, "trace-region", {"trace.region"}},
+      {Injection::kSecureLeak, "secure-leak", {"secure.leak"}},
+      {Injection::kSecureBoundary, "secure-boundary", {"secure.boundary"}},
+      {Injection::kSecureCounter, "secure-counter", {"secure.counter"}},
+      {Injection::kSecureOracle, "secure-oracle", {"secure.oracle"}},
   };
   return kTable;
 }

@@ -1,0 +1,462 @@
+#include "verify/secure_checkers.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "crypto/modes.hpp"
+#include "sim/functional_memory.hpp"
+#include "sim/mem_controller.hpp"
+
+namespace sealdl::verify {
+
+namespace {
+
+constexpr std::uint64_t kLine = crypto::kLineBytes;
+
+/// What the scheme requires of a line's wire image.
+enum class WirePolicy : std::uint8_t { kMustCipher, kMustPlain };
+
+std::uint64_t plain_bytes(const TaintCounts& counts) {
+  const auto wp = static_cast<std::size_t>(TaintClass::kWeightPlain);
+  const auto fp = static_cast<std::size_t>(TaintClass::kFmapPlain);
+  return counts.read[wp] + counts.write[wp] + counts.read[fp] + counts.write[fp];
+}
+
+std::uint64_t cipher_bytes(const TaintCounts& counts) {
+  const auto wc = static_cast<std::size_t>(TaintClass::kWeightCipher);
+  const auto fc = static_cast<std::size_t>(TaintClass::kFmapCipher);
+  return counts.read[wc] + counts.write[wc] + counts.read[fc] + counts.write[fc];
+}
+
+std::uint64_t untagged_bytes(const TaintCounts& counts) {
+  const auto u = static_cast<std::size_t>(TaintClass::kUntagged);
+  return counts.read[u] + counts.write[u];
+}
+
+/// The per-address wire policy. For SEAL this is derived from the *plan*
+/// (not the secure map): the map is what the memory system obeys, so judging
+/// the wire against the plan catches a map that drifted from the plan — the
+/// exact bug class the taint analyzer exists for.
+WirePolicy line_policy(const AnalysisInput& input,
+                       sim::EncryptionScheme scheme, bool selective,
+                       const Region& region, sim::Addr line_addr) {
+  if (scheme == sim::EncryptionScheme::kNone) return WirePolicy::kMustPlain;
+  if (!selective) return WirePolicy::kMustCipher;
+  if (!input.plan) return WirePolicy::kMustPlain;
+  // The network output buffer is always encrypted under SEAL.
+  if (region.spec_index >= input.specs.size()) return WirePolicy::kMustCipher;
+  const std::uint64_t off = line_addr - region.begin;
+  if (region.kind == Region::Kind::kWeights) {
+    const int lp_idx = input.plan_index[region.spec_index];
+    const int row = static_cast<int>(off / region.pitch);
+    return input.plan->row_protected(static_cast<std::size_t>(lp_idx), row)
+               ? WirePolicy::kMustCipher
+               : WirePolicy::kMustPlain;
+  }
+  const int cp = input.consumer_plan_index(region.spec_index);
+  if (cp < 0) return WirePolicy::kMustPlain;
+  const auto& lp = input.plan->layer(static_cast<std::size_t>(cp));
+  if (region.dense_fc) {
+    // 32 features per line; the line is ciphertext iff any feature in it is
+    // encrypted (mirrors SecureMap::line_is_secure over the 4-byte marks).
+    const int features = input.specs[region.spec_index].in_features;
+    const int f0 = static_cast<int>(off / 4);
+    const int f1 = std::min(features, f0 + static_cast<int>(kLine / 4));
+    for (int f = f0; f < f1; ++f) {
+      if (row_encrypted_safe(lp, f)) return WirePolicy::kMustCipher;
+    }
+    return WirePolicy::kMustPlain;
+  }
+  const int channel = static_cast<int>(off / region.pitch);
+  return row_encrypted_safe(lp, channel) ? WirePolicy::kMustCipher
+                                         : WirePolicy::kMustPlain;
+}
+
+/// splitmix64: the audit's known-plaintext generator. Purely a function of
+/// the byte address, so writer and checker agree without shared state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void fill_expected_plaintext(sim::Addr line_addr,
+                             std::span<std::uint8_t> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint64_t word = mix64(line_addr + (i & ~std::uint64_t{7}));
+    out[i] = static_cast<std::uint8_t>(word >> ((i & 7) * 8));
+  }
+}
+
+/// The transcript's line sample for one region: the first (and with
+/// lines_per_unit > 1 the last) line of every row/channel — full unit
+/// coverage, which is what makes the boundary equality total — and a capped
+/// stride scan for dense FC vectors that have no per-unit structure.
+std::vector<sim::Addr> sampled_lines(const Region& region,
+                                     const SecureAuditOptions& options) {
+  std::vector<sim::Addr> lines;
+  if (region.end <= region.begin || region.pitch == 0) return lines;
+  if (!region.dense_fc && region.pitch >= kLine && region.units > 0) {
+    for (int u = 0; u < region.units; ++u) {
+      const sim::Addr base =
+          region.begin + static_cast<std::uint64_t>(u) * region.pitch;
+      lines.push_back(base);
+      if (options.lines_per_unit > 1 && region.pitch > kLine) {
+        lines.push_back(base + region.pitch - kLine);
+      }
+    }
+    return lines;
+  }
+  const std::uint64_t nlines = (region.end - region.begin) / kLine;
+  const std::uint64_t cap = std::max<std::uint64_t>(1, options.max_lines_per_region);
+  const std::uint64_t step = std::max<std::uint64_t>(1, nlines / cap);
+  for (std::uint64_t k = 0; k < nlines; k += step) {
+    lines.push_back(region.begin + k * kLine);
+  }
+  const sim::Addr last = region.end - kLine;
+  if (lines.empty() || lines.back() != last) lines.push_back(last);
+  return lines;
+}
+
+void functional_transcript(const AnalysisInput& input, const SchemePick& pick,
+                           const SecureAuditOptions& options, Report& report) {
+  crypto::Key128 key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i * 17 + 3);
+  }
+  sim::FunctionalMemory memory(pick.scheme, pick.selective,
+                               &input.heap.secure_map(), key);
+  TaintLedger ledger;
+  TaintProbe probe(&input, &ledger);
+  memory.set_probe(&probe);
+
+  std::vector<sim::Addr> lines;
+  for (const Region& region : input.regions) {
+    const auto sampled = sampled_lines(region, options);
+    lines.insert(lines.end(), sampled.begin(), sampled.end());
+  }
+
+  std::array<std::uint8_t, kLine> buf{};
+  for (const sim::Addr addr : lines) {
+    fill_expected_plaintext(addr, buf);
+    memory.write(addr, buf);
+  }
+  for (const sim::Addr addr : lines) memory.read(addr, buf);
+
+  if (input.inject == Injection::kSecureOracle && !ledger.captures().empty()) {
+    // Forge one observation whose encrypted flag lies: prefer a line that
+    // really was ciphertext, fall back to any capture. The ledger's byte
+    // counts are untouched — only the known-plaintext cross-check can see it.
+    sim::Addr target = ledger.captures().begin()->first;
+    for (const auto& [addr, image] : ledger.captures()) {
+      if (image.encrypted) {
+        target = addr;
+        break;
+      }
+    }
+    fill_expected_plaintext(target, buf);
+    probe.on_data(target, buf, /*is_write=*/false, /*encrypted=*/true);
+  }
+
+  check_taint_ledger(input, ledger, pick.scheme, pick.selective, report);
+  if (pick.selective && input.plan) {
+    check_secure_boundary(input, ledger, /*require_full_coverage=*/true,
+                          report);
+  }
+  check_secure_oracle(input, ledger, report);
+}
+
+/// Replays data traffic through a real counter-mode memory controller —
+/// counter cache, metadata fills/writebacks, and the end-of-run flush drain —
+/// and reconciles the controller's accounting with what the bus probe saw.
+void counter_replay(const AnalysisInput& input,
+                    const SecureAuditOptions& options, Report& report) {
+  sim::GpuConfig config = sim::GpuConfig::gtx480();
+  config.scheme = sim::EncryptionScheme::kCounter;
+  config.selective = false;
+  sim::MemoryController controller(config, &input.heap.secure_map());
+  TaintLedger ledger;
+  TaintProbe probe(&input, &ledger);
+  controller.set_probe(&probe);
+
+  sim::Cycle now = 0;
+  std::uint64_t replayed = 0;
+  for (const Region& region : input.regions) {
+    if (region.kind != Region::Kind::kWeights) continue;
+    for (sim::Addr addr = region.begin;
+         addr < region.end && replayed < options.counter_replay_lines;
+         addr += kLine) {
+      // Writes dirty counter-cache lines, so the final flush has metadata
+      // writebacks to drain — the exact path the reconciliation guards.
+      now = controller.write_line(now, addr);
+      now = controller.read_line(now, addr);
+      ++replayed;
+    }
+    if (replayed >= options.counter_replay_lines) break;
+  }
+  if (input.inject == Injection::kSecureCounter) {
+    // Reproduce the pre-fix accounting bug: the flush drains dirty counter
+    // lines onto the bus with nobody watching.
+    controller.set_probe(nullptr);
+  }
+  controller.flush(now);
+
+  check_counter_reconciliation(ledger, controller.counter_traffic_bytes(),
+                               sim::EncryptionScheme::kCounter, report);
+  const std::uint64_t controller_total = controller.read_bytes() +
+                                         controller.write_bytes() +
+                                         controller.counter_traffic_bytes();
+  if (controller_total != ledger.total_bytes()) {
+    report.add({.rule = "secure.counter",
+                .severity = Severity::kError,
+                .layer = "",
+                .begin = 0,
+                .end = 0,
+                .message = "controller byte accounting (" +
+                           std::to_string(controller_total) +
+                           ") does not reconcile with bus-probe total (" +
+                           std::to_string(ledger.total_bytes()) + ")"});
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> secure_rules() {
+  return {"secure.leak", "secure.boundary", "secure.counter", "secure.oracle"};
+}
+
+const char* scheme_pick_name(const SchemePick& pick) {
+  switch (pick.scheme) {
+    case sim::EncryptionScheme::kNone: return "baseline";
+    case sim::EncryptionScheme::kDirect: return pick.selective ? "seal-d" : "direct";
+    case sim::EncryptionScheme::kCounter: return pick.selective ? "seal-c" : "counter";
+  }
+  return "unknown";
+}
+
+void check_taint_ledger(const AnalysisInput& input, const TaintLedger& ledger,
+                        sim::EncryptionScheme scheme, bool selective,
+                        Report& report) {
+  const SchemePick pick{scheme, selective};
+  std::uint64_t untagged = 0;
+  for (const auto& [addr, counts] : ledger.lines()) {
+    if (addr >= sim::kCounterRegionBase) continue;
+    const Region* region = input.region_at(addr);
+    if (region == nullptr) {
+      untagged += untagged_bytes(counts) + plain_bytes(counts) +
+                  cipher_bytes(counts);
+      continue;
+    }
+    const std::uint64_t plain = plain_bytes(counts);
+    const std::uint64_t cipher = cipher_bytes(counts);
+    const WirePolicy policy = line_policy(input, scheme, selective, *region, addr);
+    if (policy == WirePolicy::kMustCipher && plain > 0) {
+      report.add({.rule = "secure.leak",
+                  .severity = Severity::kError,
+                  .layer = region->name,
+                  .begin = addr,
+                  .end = addr + kLine,
+                  .message = std::to_string(plain) +
+                             " plaintext byte(s) of " + region->name +
+                             " crossed the bus under " +
+                             scheme_pick_name(pick)});
+    }
+    if (scheme == sim::EncryptionScheme::kNone && cipher > 0) {
+      report.add({.rule = "secure.leak",
+                  .severity = Severity::kError,
+                  .layer = region->name,
+                  .begin = addr,
+                  .end = addr + kLine,
+                  .message = std::to_string(cipher) + " ciphertext byte(s) of " +
+                             region->name +
+                             " under baseline — the full-visibility contract "
+                             "is broken"});
+    }
+  }
+  if (untagged > 0) {
+    report.add({.rule = "secure.leak",
+                .severity = Severity::kWarning,
+                .layer = "",
+                .begin = 0,
+                .end = 0,
+                .message = std::to_string(untagged) +
+                           " byte(s) crossed the bus outside every known "
+                           "region (untagged provenance)"});
+  }
+}
+
+void check_secure_boundary(const AnalysisInput& input,
+                           const TaintLedger& ledger,
+                           bool require_full_coverage, Report& report) {
+  if (!input.plan) return;
+  const auto wp = static_cast<std::size_t>(TaintClass::kWeightPlain);
+  const auto wc = static_cast<std::size_t>(TaintClass::kWeightCipher);
+  const auto& lines = ledger.lines();
+  for (const Region& region : input.regions) {
+    if (region.kind != Region::Kind::kWeights || region.units <= 0) continue;
+    const int lp_idx = input.plan_index[region.spec_index];
+    if (lp_idx < 0) continue;
+    std::vector<std::uint8_t> seen_plain(static_cast<std::size_t>(region.units), 0);
+    std::vector<std::uint8_t> seen_cipher(static_cast<std::size_t>(region.units), 0);
+    for (auto it = lines.lower_bound(region.begin);
+         it != lines.end() && it->first < region.end; ++it) {
+      const auto row =
+          static_cast<std::size_t>((it->first - region.begin) / region.pitch);
+      if (row >= seen_plain.size()) continue;
+      if (it->second.read[wp] + it->second.write[wp] > 0) seen_plain[row] = 1;
+      if (it->second.read[wc] + it->second.write[wc] > 0) seen_cipher[row] = 1;
+    }
+    for (int r = 0; r < region.units; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      const bool protected_row =
+          input.plan->row_protected(static_cast<std::size_t>(lp_idx), r);
+      const sim::Addr row_begin =
+          region.begin + static_cast<std::uint64_t>(r) * region.pitch;
+      if (protected_row && seen_plain[ri]) {
+        report.add({.rule = "secure.boundary",
+                    .severity = Severity::kError,
+                    .layer = region.name,
+                    .begin = row_begin,
+                    .end = row_begin + region.pitch,
+                    .message = "protected row " + std::to_string(r) + " of " +
+                               region.name +
+                               " observed plaintext — leakage beyond the "
+                               "plan's unprotected set"});
+      } else if (!protected_row && seen_cipher[ri] && !seen_plain[ri]) {
+        report.add({.rule = "secure.boundary",
+                    .severity = Severity::kError,
+                    .layer = region.name,
+                    .begin = row_begin,
+                    .end = row_begin + region.pitch,
+                    .message = "plan-plaintext row " + std::to_string(r) +
+                               " of " + region.name +
+                               " crossed the bus only as ciphertext — "
+                               "observed boundary smaller than the plan's"});
+      } else if (require_full_coverage && !seen_plain[ri] && !seen_cipher[ri]) {
+        report.add({.rule = "secure.boundary",
+                    .severity = Severity::kError,
+                    .layer = region.name,
+                    .begin = row_begin,
+                    .end = row_begin + region.pitch,
+                    .message = "row " + std::to_string(r) + " of " +
+                               region.name +
+                               " was never observed by the audit transcript"});
+      }
+    }
+  }
+}
+
+void check_counter_reconciliation(const TaintLedger& ledger,
+                                  std::uint64_t controller_counter_bytes,
+                                  sim::EncryptionScheme scheme,
+                                  Report& report) {
+  const std::uint64_t observed =
+      ledger.class_bytes(TaintClass::kCounterMeta);
+  if (scheme == sim::EncryptionScheme::kCounter) {
+    if (observed != controller_counter_bytes) {
+      report.add({.rule = "secure.counter",
+                  .severity = Severity::kError,
+                  .layer = "",
+                  .begin = 0,
+                  .end = 0,
+                  .message = "counter-metadata bytes on the bus (" +
+                             std::to_string(observed) +
+                             ") do not reconcile with the controllers' "
+                             "metadata accounting (" +
+                             std::to_string(controller_counter_bytes) + ")"});
+    }
+    return;
+  }
+  if (observed != 0 || controller_counter_bytes != 0) {
+    report.add({.rule = "secure.counter",
+                .severity = Severity::kError,
+                .layer = "",
+                .begin = 0,
+                .end = 0,
+                .message = "counter-metadata traffic under a scheme without "
+                           "counters (bus " +
+                           std::to_string(observed) + ", controller " +
+                           std::to_string(controller_counter_bytes) + ")"});
+  }
+}
+
+void check_secure_oracle(const AnalysisInput& input, const TaintLedger& ledger,
+                         Report& report) {
+  std::array<std::uint8_t, kLine> expected{};
+  for (const auto& [addr, image] : ledger.captures()) {
+    if (addr >= sim::kCounterRegionBase) continue;
+    if (input.region_at(addr) == nullptr) continue;
+    fill_expected_plaintext(addr, expected);
+    const bool equal =
+        image.size == kLine &&
+        std::equal(expected.begin(), expected.end(), image.bytes.begin());
+    if (image.encrypted && equal) {
+      report.add({.rule = "secure.oracle",
+                  .severity = Severity::kError,
+                  .layer = "",
+                  .begin = addr,
+                  .end = addr + kLine,
+                  .message = "encrypted flag claims ciphertext but the wire "
+                             "bytes equal the known plaintext — the flag "
+                             "lied"});
+    } else if (!image.encrypted && !equal) {
+      report.add({.rule = "secure.oracle",
+                  .severity = Severity::kError,
+                  .layer = "",
+                  .begin = addr,
+                  .end = addr + kLine,
+                  .message = "plaintext-flagged transfer does not match the "
+                             "known plaintext image"});
+    }
+  }
+}
+
+void run_secure_audit(const AnalysisInput& input,
+                      const SecureAuditOptions& options, Report& report) {
+  std::vector<SchemePick> schemes = options.schemes;
+  if (schemes.empty()) {
+    schemes = {{sim::EncryptionScheme::kNone, false},
+               {sim::EncryptionScheme::kDirect, false},
+               {sim::EncryptionScheme::kCounter, false}};
+    if (input.plan) {
+      schemes.push_back({sim::EncryptionScheme::kDirect, true});
+      schemes.push_back({sim::EncryptionScheme::kCounter, true});
+    }
+  }
+  bool any_counter = false;
+  for (const SchemePick& pick : schemes) {
+    functional_transcript(input, pick, options, report);
+    any_counter |= pick.scheme == sim::EncryptionScheme::kCounter;
+  }
+  if (any_counter) counter_replay(input, options, report);
+}
+
+bool is_secure_injection(Injection injection) {
+  switch (injection) {
+    case Injection::kSecureLeak:
+    case Injection::kSecureBoundary:
+    case Injection::kSecureCounter:
+    case Injection::kSecureOracle:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<SchemePick> audit_schemes_for(Injection injection) {
+  switch (injection) {
+    case Injection::kSecureLeak:
+    case Injection::kSecureBoundary:
+    case Injection::kSecureOracle:
+      return {{sim::EncryptionScheme::kDirect, true}};
+    case Injection::kSecureCounter:
+      return {{sim::EncryptionScheme::kCounter, false}};
+    default:
+      return {};
+  }
+}
+
+}  // namespace sealdl::verify

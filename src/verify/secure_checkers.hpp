@@ -1,0 +1,111 @@
+// The secure.* rule family: per-scheme no-plaintext-leakage proofs over a
+// byte-provenance taint ledger (verify/taint.hpp).
+//
+//   secure.leak      no plaintext secure-weight/activation bytes on the bus
+//                    under Direct/Counter/SEAL-D/SEAL-C; full visibility
+//                    (zero ciphertext) under Baseline.
+//   secure.boundary  under SEAL, the plaintext weight rows observed on the
+//                    bus equal exactly the plan's unprotected set — no more,
+//                    no less (byte-for-byte in the functional audit).
+//   secure.counter   counter-metadata bus bytes reconcile with the
+//                    controllers' metadata traffic accounting (the PR-4
+//                    flush-drain invariant), and are zero for schemes
+//                    without counters.
+//   secure.oracle    known-plaintext cross-check: a transfer whose
+//                    `encrypted` flag claims ciphertext must not carry wire
+//                    bytes equal to the functional-memory plaintext (and a
+//                    plaintext-flagged transfer must carry exactly it) —
+//                    catches "the flag lied" bugs the flag-trusting rules
+//                    cannot see.
+//
+// Two ways to populate the ledger:
+//   * run_secure_audit(): a self-contained functional transcript — write a
+//     known pseudorandom plaintext image through sim::FunctionalMemory and
+//     read it back with a TaintProbe attached, touching every weight row of
+//     every layer, for each scheme under test; counter-mode schemes
+//     additionally replay traffic through a real sim::MemoryController
+//     (counter cache + end-of-run flush) to reconcile metadata accounting.
+//   * TaintAuditor (taint.hpp): record a live timing run through
+//     workload::BusProbeHook and call the ledger checkers on the result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/gpu_config.hpp"
+#include "verify/analysis.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/taint.hpp"
+
+namespace sealdl::verify {
+
+/// Rule ids of the secure.* family (for --list-rules and the catalog test).
+[[nodiscard]] std::vector<std::string> secure_rules();
+
+/// One scheme configuration to audit.
+struct SchemePick {
+  sim::EncryptionScheme scheme = sim::EncryptionScheme::kNone;
+  bool selective = false;
+};
+
+/// CLI name of a pick ("baseline", "direct", "counter", "seal-d", "seal-c").
+[[nodiscard]] const char* scheme_pick_name(const SchemePick& pick);
+
+struct SecureAuditOptions {
+  /// Schemes to audit; empty = Baseline/Direct/Counter always, plus SEAL-D /
+  /// SEAL-C when the input carries a plan.
+  std::vector<SchemePick> schemes;
+  /// Lines sampled per weight row / conv fmap channel: 1 = the first line of
+  /// every unit (full unit coverage, the boundary-equality proof), 2 = first
+  /// and last line.
+  int lines_per_unit = 2;
+  /// Stride-scan cap for dense FC fmap regions (they have no per-unit
+  /// structure; the first and last lines are always included).
+  std::uint64_t max_lines_per_region = 2048;
+  /// Data lines replayed through the counter-mode memory controller for the
+  /// metadata-reconciliation check.
+  std::uint64_t counter_replay_lines = 96;
+};
+
+/// Ledger-level leak check (timing or functional): every observed line is
+/// held against the wire policy its scheme implies for that address.
+void check_taint_ledger(const AnalysisInput& input, const TaintLedger& ledger,
+                        sim::EncryptionScheme scheme, bool selective,
+                        Report& report);
+
+/// SEAL boundary check over weight regions: observed-plaintext rows must
+/// equal the plan's unprotected set. With `require_full_coverage` (the
+/// functional audit, which touches every row) an unobserved row is itself an
+/// error, making the equality total rather than partial.
+void check_secure_boundary(const AnalysisInput& input,
+                           const TaintLedger& ledger,
+                           bool require_full_coverage, Report& report);
+
+/// Reconciles the ledger's counter-region bytes against the controllers' own
+/// counter_traffic_bytes accounting; schemes without counters must show zero.
+void check_counter_reconciliation(const TaintLedger& ledger,
+                                  std::uint64_t controller_counter_bytes,
+                                  sim::EncryptionScheme scheme, Report& report);
+
+/// Known-plaintext cross-check over the functional audit's wire captures.
+void check_secure_oracle(const AnalysisInput& input, const TaintLedger& ledger,
+                         Report& report);
+
+/// Runs the full functional audit described above, appending findings to
+/// `report`. Honors input.inject for the kSecure* seeded violations that are
+/// staged inside the audit harness (kSecureCounter detaches the probe before
+/// the counter flush; kSecureOracle forges a capture whose encrypted flag
+/// lies).
+void run_secure_audit(const AnalysisInput& input,
+                      const SecureAuditOptions& options, Report& report);
+
+/// True for injections whose expected rules only fire when the functional
+/// audit runs (sealdl-check routes these through run_secure_audit).
+[[nodiscard]] bool is_secure_injection(Injection injection);
+
+/// The scheme subset a secure injection needs to demonstrably fire (keeps
+/// --inject all fast: one scheme per injection instead of five).
+[[nodiscard]] std::vector<SchemePick> audit_schemes_for(Injection injection);
+
+}  // namespace sealdl::verify

@@ -16,7 +16,8 @@ void add_error(Report& report, const char* rule, std::string message) {
 }
 
 std::string fmt(const char* format, double value) {
-  char buffer[64];
+  // Large enough that no message + "%g" rendering can truncate.
+  char buffer[128];
   std::snprintf(buffer, sizeof(buffer), format, value);
   return buffer;
 }

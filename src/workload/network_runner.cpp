@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <future>
+#include <memory>
 #include <optional>
 #include <utility>
 
+#include "sim/bus_probe.hpp"
 #include "sim/gpu_simulator.hpp"
 #include "telemetry/collect.hpp"
 #include "util/logging.hpp"
@@ -49,11 +51,12 @@ LayerOutcome simulate_layer(const core::LayerAddressing& layer,
                             const sim::SecureMap& secure_map,
                             const RunOptions& options, int num_warps,
                             bool collect_metrics, sim::Cycle sample_interval,
-                            bool profile) {
+                            bool profile, sim::BusProbe* probe) {
   LayerWork work =
       make_layer_programs(layer, num_warps, options.max_tiles_per_layer);
   sim::GpuSimulator simulator(config, &secure_map);
   simulator.load_work(std::move(work.programs));
+  if (probe) simulator.set_probe(probe);
   // Private sampler at offset 0: samples carry layer-local cycles and are
   // shifted onto the global timeline when the segments are spliced in order.
   // The private sampler is never capped — decimation happens once, at the
@@ -151,13 +154,19 @@ NetworkResult run_specs(const std::vector<models::LayerSpec>& specs,
       collect && collect->sampler() ? collect->sampler()->interval() : 0;
   const bool profile = collect && collect->profiling();
 
+  BusProbeHook* hook = options.probe_hook;
+
   const int jobs = options.jobs == 1 ? 1 : util::ThreadPool::resolve_jobs(options.jobs);
   if (jobs <= 1 || indices.size() <= 1) {
     for (const std::size_t idx : indices) {
-      merge_outcome(simulate_layer(layout.layers().at(idx), config,
-                                   heap.secure_map(), options, num_warps,
-                                   collect_metrics, sample_interval, profile),
-                    config, collect, result);
+      std::unique_ptr<sim::BusProbe> probe =
+          hook ? hook->make_probe(idx) : nullptr;
+      merge_outcome(
+          simulate_layer(layout.layers().at(idx), config, heap.secure_map(),
+                         options, num_warps, collect_metrics, sample_interval,
+                         profile, probe.get()),
+          config, collect, result);
+      if (hook) hook->merge_probe(std::move(probe), idx);
     }
     return result;
   }
@@ -170,19 +179,28 @@ NetworkResult run_specs(const std::vector<models::LayerSpec>& specs,
                                              indices.size())));
   std::vector<std::future<LayerOutcome>> futures;
   futures.reserve(indices.size());
+  // Probes are created in spec order before submission and owned here (they
+  // must outlive the tasks); each task only sees its own probe, and the
+  // merge loop hands them back in the same order — the task-private +
+  // ordered-merge discipline that keeps hook state jobs-invariant.
+  std::vector<std::unique_ptr<sim::BusProbe>> probes;
+  probes.reserve(indices.size());
   for (const std::size_t idx : indices) {
+    probes.push_back(hook ? hook->make_probe(idx) : nullptr);
+    sim::BusProbe* probe = probes.back().get();
     futures.push_back(pool.submit([&layout, &config, &heap, &options, num_warps,
                                    collect_metrics, sample_interval, profile,
-                                   idx] {
+                                   probe, idx] {
       return simulate_layer(layout.layers().at(idx), config, heap.secure_map(),
                             options, num_warps, collect_metrics,
-                            sample_interval, profile);
+                            sample_interval, profile, probe);
     }));
   }
   // Merge strictly in submission (= spec) order; get() rethrows the first
   // task exception to the caller.
-  for (auto& future : futures) {
-    merge_outcome(future.get(), config, collect, result);
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    merge_outcome(futures[k].get(), config, collect, result);
+    if (hook) hook->merge_probe(std::move(probes[k]), indices[k]);
   }
   return result;
 }

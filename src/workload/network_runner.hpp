@@ -2,6 +2,8 @@
 // aggregate IPC / latency under a given encryption configuration.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,7 +13,34 @@
 #include "sim/sim_stats.hpp"
 #include "telemetry/telemetry.hpp"
 
+namespace sealdl::sim {
+class BusProbe;
+}  // namespace sealdl::sim
+
 namespace sealdl::workload {
+
+/// Observer factory for a run's raw bus traffic. The runner calls
+/// make_probe() once per simulated layer and attaches the returned probe to
+/// that layer's private simulator, so the probe is only ever touched by the
+/// thread running the layer; merge_probe() then hands it back strictly in
+/// spec order from the submitting thread. An implementation therefore needs
+/// no synchronization, and any per-line accumulation it performs is
+/// bitwise-identical regardless of --jobs — the same task-private +
+/// ordered-merge discipline telemetry uses. The verify-side taint auditor
+/// (verify/taint.hpp) is the canonical implementation.
+class BusProbeHook {
+ public:
+  virtual ~BusProbeHook() = default;
+
+  /// A fresh probe for the layer at `spec_index`; called in spec order from
+  /// the submitting thread, before the layer task may start.
+  virtual std::unique_ptr<sim::BusProbe> make_probe(std::size_t spec_index) = 0;
+
+  /// Returns the probe after the layer finished; called in spec order from
+  /// the submitting thread.
+  virtual void merge_probe(std::unique_ptr<sim::BusProbe> probe,
+                           std::size_t spec_index) = 0;
+};
 
 struct LayerResult {
   std::string name;
@@ -61,6 +90,9 @@ struct RunOptions {
   /// regardless of worker count or scheduling (see docs/SIMULATOR.md,
   /// "Parallel layer simulation").
   int jobs = 1;
+  /// Optional bus-traffic observer (taint auditing). Null — the default —
+  /// attaches no probe and leaves simulation cycle-identical.
+  BusProbeHook* probe_hook = nullptr;
 };
 
 /// Simulates one network described by `specs` under `config`.

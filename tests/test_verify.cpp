@@ -11,6 +11,7 @@
 #include "verify/checker.hpp"
 #include "verify/diagnostics.hpp"
 #include "verify/inject.hpp"
+#include "verify/secure_checkers.hpp"
 
 namespace sealdl::verify {
 namespace {
@@ -76,7 +77,15 @@ TEST(VerifyInject, EveryRuleFires) {
     BuildOptions options;
     options.inject = injection;
     const AnalysisInput input = build_input(specs, options);
-    const Report report = run_checkers(input, default_checkers(fast_trace()));
+    Report report = run_checkers(input, default_checkers(fast_trace()));
+    // The secure.* rules consume a bus ledger, not the AnalysisInput alone:
+    // route their injections through the functional taint audit, over the
+    // one scheme each injection targets (same path sealdl-check takes).
+    if (is_secure_injection(injection)) {
+      SecureAuditOptions audit;
+      audit.schemes = audit_schemes_for(injection);
+      run_secure_audit(input, audit, report);
+    }
     for (const std::string& rule : expected_rules(injection)) {
       EXPECT_TRUE(report.fired(rule))
           << injection_name(injection) << " did not fire " << rule << "\n"

@@ -1,0 +1,39 @@
+# ctest gate: `sealdl-check --inject all --json` must account for every
+# injection — exercised + skipped == total, nothing missed — so CI can prove
+# no injection silently fell out of the self-test loop.
+# Invoked as:
+#   cmake -DCHECK_BIN=<path> -DOUT_DIR=<dir> -P check_inject_ledger.cmake
+if(NOT DEFINED CHECK_BIN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCHECK_BIN=... -DOUT_DIR=... -P check_inject_ledger.cmake")
+endif()
+
+# VGG-16 has no residual topology, so exactly the plan-residual injection is
+# skipped — this pins both the skip path and its JSON accounting.
+execute_process(
+  COMMAND ${CHECK_BIN} --workload vgg16 --inject all
+          --json ${OUT_DIR}/inject_ledger.json
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sealdl-check --inject all failed (rc=${rc})")
+endif()
+
+file(READ ${OUT_DIR}/inject_ledger.json ledger)
+foreach(field total exercised skipped missed)
+  if(NOT ledger MATCHES "\"${field}\":([0-9]+)")
+    message(FATAL_ERROR "inject ledger JSON lacks the \"${field}\" field")
+  endif()
+  set(${field} ${CMAKE_MATCH_1})
+endforeach()
+
+math(EXPR accounted "${exercised} + ${skipped}")
+if(NOT accounted EQUAL total)
+  message(FATAL_ERROR "injection accounting broken: ${exercised} exercised + ${skipped} skipped != ${total} total")
+endif()
+if(NOT missed EQUAL 0)
+  message(FATAL_ERROR "${missed} injection(s) missed")
+endif()
+if(NOT skipped EQUAL 1 OR NOT ledger MATCHES "\"name\":\"plan-residual\",\"status\":\"skipped\"")
+  message(FATAL_ERROR "expected exactly plan-residual to be skipped on vgg16 (skipped=${skipped})")
+endif()
+message(STATUS "inject ledger OK: ${exercised} exercised + ${skipped} skipped == ${total} total, 0 missed")

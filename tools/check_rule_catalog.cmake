@@ -1,0 +1,67 @@
+# ctest gate: the rule catalog printed by `sealdl-check --list-rules` and the
+# one documented in docs/ANALYSIS.md must not drift apart.
+#
+#   forward: every rule id the binary prints appears in the document;
+#   reverse: every backticked dotted rule id in the document's tables is one
+#            the binary knows.
+#
+# Invoked as:
+#   cmake -DCHECK_BIN=<path> -DDOC=<path/to/ANALYSIS.md> -P check_rule_catalog.cmake
+if(NOT DEFINED CHECK_BIN OR NOT DEFINED DOC)
+  message(FATAL_ERROR "usage: cmake -DCHECK_BIN=... -DDOC=... -P check_rule_catalog.cmake")
+endif()
+
+execute_process(
+  COMMAND ${CHECK_BIN} --list-rules
+  OUTPUT_VARIABLE listing
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sealdl-check --list-rules failed (rc=${rc})")
+endif()
+file(READ ${DOC} doc)
+
+# Rule ids are the first token of each catalog line, before the injection
+# section: lowercase dotted identifiers like plan.shape or serve.options.rate.
+string(REGEX REPLACE "\ninjections.*" "" rule_section "${listing}")
+string(REGEX MATCHALL "[a-z][a-z0-9-]*(\\.[a-z][a-z0-9-]*)+" listed_rules
+       "${rule_section}")
+list(REMOVE_DUPLICATES listed_rules)
+list(LENGTH listed_rules listed_count)
+if(listed_count LESS 20)
+  message(FATAL_ERROR "--list-rules yielded only ${listed_count} rule ids — parse broke?")
+endif()
+
+set(missing_in_doc "")
+foreach(rule IN LISTS listed_rules)
+  string(FIND "${doc}" "`${rule}`" pos)
+  if(pos EQUAL -1)
+    list(APPEND missing_in_doc ${rule})
+  endif()
+endforeach()
+if(missing_in_doc)
+  message(FATAL_ERROR "rules printed by --list-rules but undocumented in ${DOC}: ${missing_in_doc}")
+endif()
+
+# Reverse direction: backticked dotted ids in the document. Restrict to the
+# known rule-family prefixes so prose mentioning e.g. `docs/ANALYSIS.md` or
+# flag names never false-positives.
+string(REGEX MATCHALL "`(plan|layout|trace|secure|lock|serve|profile)\\.[a-z0-9.-]+`"
+       doc_rules "${doc}")
+list(REMOVE_DUPLICATES doc_rules)
+set(missing_in_binary "")
+foreach(backticked IN LISTS doc_rules)
+  string(REPLACE "`" "" rule "${backticked}")
+  # The doc may name a family ("profile.*"); only exact ids are checked.
+  if(rule MATCHES "\\*")
+    continue()
+  endif()
+  list(FIND listed_rules "${rule}" idx)
+  if(idx EQUAL -1)
+    list(APPEND missing_in_binary ${rule})
+  endif()
+endforeach()
+if(missing_in_binary)
+  message(FATAL_ERROR "rules documented in ${DOC} but unknown to --list-rules: ${missing_in_binary}")
+endif()
+
+message(STATUS "rule catalog OK: ${listed_count} rules, binary and ${DOC} agree")

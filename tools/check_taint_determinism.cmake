@@ -1,0 +1,34 @@
+# ctest gate: the taint ledger recorded during a live timing run must be
+# byte-identical for --jobs 1 and --jobs 4 — the probe-per-layer +
+# spec-ordered-merge discipline (workload::BusProbeHook) makes the whole
+# --secure-audit-json document (per-line ledger, class totals, digest,
+# findings) independent of worker scheduling.
+# Invoked as:
+#   cmake -DSIM_BIN=<path> -DOUT_DIR=<dir> -P check_taint_determinism.cmake
+if(NOT DEFINED SIM_BIN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DSIM_BIN=... -DOUT_DIR=... -P check_taint_determinism.cmake")
+endif()
+
+set(common_flags
+  --workload resnet18 --input 96 --scheme seal-c --ratio 0.5 --tiles 48)
+
+foreach(jobs 1 4)
+  execute_process(
+    COMMAND ${SIM_BIN} ${common_flags} --jobs ${jobs}
+            --secure-audit-json ${OUT_DIR}/taint_j${jobs}.json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sealdl-sim --secure-audit --jobs ${jobs} failed (rc=${rc})")
+  endif()
+endforeach()
+
+file(READ ${OUT_DIR}/taint_j1.json ledger_j1)
+file(READ ${OUT_DIR}/taint_j4.json ledger_j4)
+if(NOT ledger_j1 STREQUAL ledger_j4)
+  message(FATAL_ERROR "taint ledgers differ between --jobs 1 and --jobs 4")
+endif()
+if(NOT ledger_j1 MATCHES "\"digest\"")
+  message(FATAL_ERROR "taint ledger JSON carries no digest — export broke?")
+endif()
+message(STATUS "taint ledger determinism OK: --jobs 1 == --jobs 4")

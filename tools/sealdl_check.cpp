@@ -5,8 +5,14 @@
 //
 //   sealdl-check --workload vgg16 --ratio 0.5
 //   sealdl-check --workload resnet18 --ratio 0.4 --json report.json
+//   sealdl-check --workload vgg16 --secure-audit   # + functional taint audit
 //   sealdl-check --workload resnet34 --inject all   # every rule must fire
 //   sealdl-check --list-rules
+//
+// --secure-audit additionally runs the byte-provenance taint audit: a
+// functional-memory transcript of every scheme's bus traffic, checked by the
+// secure.* rules (docs/ANALYSIS.md, "Security analysis"). secure-* injections
+// route through the audit automatically.
 //
 // Exit codes: 0 = clean (or every injected violation was caught),
 // 1 = findings (or an injection went undetected), 2 = usage error.
@@ -22,6 +28,7 @@
 #include "verify/checker.hpp"
 #include "verify/concurrency.hpp"
 #include "verify/profile_checkers.hpp"
+#include "verify/secure_checkers.hpp"
 #include "verify/serve_checkers.hpp"
 
 using namespace sealdl;
@@ -61,6 +68,11 @@ void list_rules() {
   for (const std::string& rule : verify::profile_rules()) {
     std::printf("%-16s (validated by sealdl-sim/sealdl-serve)\n", rule.c_str());
   }
+  for (const std::string& rule : verify::secure_rules()) {
+    std::printf("%-16s (taint audit: --secure-audit here / in sealdl-sim "
+                "and sealdl-serve)\n",
+                rule.c_str());
+  }
   for (const std::string& rule : verify::lock_audit_rules()) {
     std::printf("%-16s (runtime lock auditor, SEALDL_LOCK_AUDIT)\n",
                 rule.c_str());
@@ -79,7 +91,7 @@ void list_rules() {
 
 void write_json_report(const std::string& path, const std::string& workload,
                        const verify::BuildOptions& options,
-                       const verify::Report& report) {
+                       const verify::Report& report, bool secure_audit) {
   util::JsonWriter json;
   json.begin_object();
   json.field("tool", "sealdl-check");
@@ -87,6 +99,7 @@ void write_json_report(const std::string& path, const std::string& workload,
   json.field("workload", workload);
   json.field("selective", options.selective);
   json.field("encryption_ratio", options.plan.encryption_ratio);
+  json.field("secure_audit", secure_audit);
   if (options.inject != verify::Injection::kNone) {
     json.field("inject", verify::injection_name(options.inject));
   }
@@ -96,14 +109,31 @@ void write_json_report(const std::string& path, const std::string& workload,
   telemetry::write_text_file(path, json.str());
 }
 
-/// Runs one injection and verifies its expected rules all fired.
+/// Per-injection outcome for the --inject all ledger (text + JSON).
+struct InjectOutcome {
+  std::string name;
+  std::string status;  ///< "caught", "missed" or "skipped"
+  std::string reason;  ///< only for "skipped"
+  std::uint64_t errors = 0;
+  std::uint64_t warnings = 0;
+};
+
+/// Runs one injection and verifies its expected rules all fired. Secure
+/// injections additionally run the taint audit over the schemes they target,
+/// since the secure.* rules consume a bus ledger, not the AnalysisInput alone.
 bool run_injection(const std::vector<models::LayerSpec>& specs,
                    verify::BuildOptions options, verify::Injection injection,
-                   const verify::TraceCheckOptions& trace_options) {
+                   const verify::TraceCheckOptions& trace_options,
+                   InjectOutcome* outcome = nullptr) {
   options.inject = injection;
   const verify::AnalysisInput input = verify::build_input(specs, options);
-  const verify::Report report =
+  verify::Report report =
       verify::run_checkers(input, verify::default_checkers(trace_options));
+  if (verify::is_secure_injection(injection)) {
+    verify::SecureAuditOptions audit;
+    audit.schemes = verify::audit_schemes_for(injection);
+    verify::run_secure_audit(input, audit, report);
+  }
   bool caught = true;
   for (const std::string& rule : verify::expected_rules(injection)) {
     if (!report.fired(rule)) {
@@ -118,7 +148,55 @@ bool run_injection(const std::vector<models::LayerSpec>& specs,
                 static_cast<unsigned long long>(report.error_count()),
                 static_cast<unsigned long long>(report.warning_count()));
   }
+  if (outcome) {
+    outcome->name = verify::injection_name(injection);
+    outcome->status = caught ? "caught" : "missed";
+    outcome->errors = report.error_count();
+    outcome->warnings = report.warning_count();
+  }
   return caught;
+}
+
+/// Machine-readable ledger for --inject all --json: one entry per injection
+/// with its status, plus totals CI can assert (exercised + skipped == total).
+void write_json_inject_report(const std::string& path,
+                              const std::string& workload,
+                              const std::vector<InjectOutcome>& outcomes) {
+  std::uint64_t exercised = 0, skipped = 0, missed = 0;
+  for (const InjectOutcome& o : outcomes) {
+    if (o.status == "skipped") {
+      ++skipped;
+    } else {
+      ++exercised;
+      if (o.status == "missed") ++missed;
+    }
+  }
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("tool", "sealdl-check");
+  json.field("schema_version", 1);
+  json.field("mode", "inject-all");
+  json.field("workload", workload);
+  json.field("total", static_cast<std::uint64_t>(outcomes.size()));
+  json.field("exercised", exercised);
+  json.field("skipped", skipped);
+  json.field("missed", missed);
+  json.key("injections");
+  json.begin_array();
+  for (const InjectOutcome& o : outcomes) {
+    json.begin_object();
+    json.field("name", o.name);
+    json.field("status", o.status);
+    if (!o.reason.empty()) json.field("reason", o.reason);
+    if (o.status != "skipped") {
+      json.field("errors", o.errors);
+      json.field("warnings", o.warnings);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  telemetry::write_text_file(path, json.str());
 }
 
 }  // namespace
@@ -149,6 +227,7 @@ int main(int argc, char** argv) {
     const std::string inject_name = flags.get("inject", "");
     const std::string json_path = flags.get("json", "");
     const bool strict = flags.get_bool("strict", false);
+    const bool secure_audit = flags.get_bool("secure-audit", false);
 
     const auto unused = flags.unused();
     if (!unused.empty()) {
@@ -164,17 +243,39 @@ int main(int argc, char** argv) {
           !verify::residual_edges_from_names(specs).empty();
       bool all_caught = true;
       int run = 0;
+      int skipped = 0;
+      std::vector<InjectOutcome> outcomes;
       for (const verify::Injection injection : verify::all_injections()) {
+        InjectOutcome outcome;
         if (verify::requires_residual_topology(injection) && !has_residuals) {
           std::printf("skip    %-18s (no residual topology in %s)\n",
                       verify::injection_name(injection), workload.c_str());
+          outcome.name = verify::injection_name(injection);
+          outcome.status = "skipped";
+          outcome.reason = "no residual topology in " + workload;
+          outcomes.push_back(std::move(outcome));
+          ++skipped;
           continue;
         }
-        all_caught &= run_injection(specs, options, injection, trace_options);
+        all_caught &=
+            run_injection(specs, options, injection, trace_options, &outcome);
+        outcomes.push_back(std::move(outcome));
         ++run;
       }
-      std::printf("%s: %d injections exercised, %s\n", workload.c_str(), run,
+      const int total = static_cast<int>(verify::all_injections().size());
+      if (run + skipped != total) {
+        std::fprintf(stderr,
+                     "sealdl-check: injection accounting broken: "
+                     "%d exercised + %d skipped != %d total\n",
+                     run, skipped, total);
+        return 1;
+      }
+      std::printf("%s: %d injections exercised, %d skipped, %d total, %s\n",
+                  workload.c_str(), run, skipped, total,
                   all_caught ? "all caught" : "SOME MISSED");
+      if (!json_path.empty()) {
+        write_json_inject_report(json_path, workload, outcomes);
+      }
       return all_caught ? 0 : 1;
     }
 
@@ -188,11 +289,16 @@ int main(int argc, char** argv) {
     }
 
     const verify::AnalysisInput input = verify::build_input(specs, options);
-    const verify::Report report =
+    verify::Report report =
         verify::run_checkers(input, verify::default_checkers(trace_options));
+    if (secure_audit) {
+      verify::run_secure_audit(input, verify::SecureAuditOptions{}, report);
+      std::printf("secure audit: %d scheme configuration(s) transcribed\n",
+                  input.plan ? 5 : 3);
+    }
     std::printf("%s", report.to_text().c_str());
     if (!json_path.empty()) {
-      write_json_report(json_path, workload, options, report);
+      write_json_report(json_path, workload, options, report, secure_audit);
     }
     const bool fail =
         report.error_count() > 0 || (strict && report.warning_count() > 0);

@@ -21,12 +21,19 @@
 //                             per-request lifecycle stage decomposition,
 //                             one NDJSON record per request
 //
+// --secure-audit attaches one byte-provenance taint probe per served network
+// during the profiling stage and proves the secure.* no-leakage invariants
+// over each recorded bus ledger before the server starts (docs/ANALYSIS.md,
+// "Security analysis").
+//
 // Exit codes: 0 success, 1 runtime error, 2 invalid serving configuration —
 // the config is statically validated up front (verify/serve_checkers.hpp,
 // rule family serve.options.*) and violations print with their rule ids
 // rather than asserting deep inside the scheduler.
+#include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -38,6 +45,7 @@
 #include "util/json.hpp"
 #include "util/table.hpp"
 #include "verify/profile_checkers.hpp"
+#include "verify/secure_checkers.hpp"
 #include "verify/serve_checkers.hpp"
 
 using namespace sealdl;
@@ -121,6 +129,7 @@ int run(int argc, char** argv) {
 
   const std::string json_path = flags.get("json", "");
   const std::string trace_path = flags.get("trace", "");
+  const bool secure_audit = flags.get_bool("secure-audit", false);
   const auto sample_interval =
       static_cast<sim::Cycle>(flags.get_int("sample-interval", 0));
   std::unique_ptr<telemetry::RunTelemetry> collect;
@@ -143,8 +152,58 @@ int run(int argc, char** argv) {
   run_options.selective = choice.selective;
   run_options.plan.encryption_ratio = ratio;
 
+  // One audit input + taint auditor per served network: each hook records its
+  // own network's profiling run, so per-network ledgers stay jobs-invariant.
+  std::vector<std::unique_ptr<verify::AnalysisInput>> audit_inputs;
+  std::vector<std::unique_ptr<verify::TaintAuditor>> auditors;
+  std::vector<workload::BusProbeHook*> probe_hooks;
+  if (secure_audit) {
+    for (const serve::NamedNetwork& network : networks) {
+      verify::BuildOptions build;
+      build.plan = run_options.plan;
+      build.selective = choice.selective;
+      audit_inputs.push_back(std::make_unique<verify::AnalysisInput>(
+          verify::build_input(network.specs, build)));
+      auditors.push_back(
+          std::make_unique<verify::TaintAuditor>(audit_inputs.back().get()));
+      probe_hooks.push_back(auditors.back().get());
+    }
+  }
+
   const serve::ServiceModel model(networks, config, run_options,
-                                  serve_options.max_batch, jobs, collect.get());
+                                  serve_options.max_batch, jobs, collect.get(),
+                                  probe_hooks);
+
+  if (secure_audit) {
+    bool audit_failed = false;
+    for (int i = 0; i < model.count(); ++i) {
+      std::uint64_t counter_bytes = 0;
+      for (const workload::LayerResult& layer : model.profile(i).layers) {
+        counter_bytes += layer.stats.counter_traffic_bytes;
+      }
+      const verify::Report audit_report =
+          auditors[static_cast<std::size_t>(i)]->check(
+              config.scheme, config.selective, counter_bytes);
+      const verify::TaintLedger& ledger =
+          auditors[static_cast<std::size_t>(i)]->ledger();
+      std::printf("secure audit [%s]: %llu bus bytes over %zu lines, "
+                  "digest %016llx, %llu error(s)\n",
+                  model.name(i).c_str(),
+                  static_cast<unsigned long long>(ledger.total_bytes()),
+                  ledger.lines().size(),
+                  static_cast<unsigned long long>(ledger.digest()),
+                  static_cast<unsigned long long>(audit_report.error_count()));
+      if (audit_report.error_count() > 0) {
+        std::fputs(audit_report.to_text().c_str(), stderr);
+        audit_failed = true;
+      }
+    }
+    if (audit_failed) {
+      std::fprintf(stderr, "sealdl-serve: profiling bus traffic violates the "
+                           "secure.* invariants\n");
+      return 1;
+    }
+  }
   // NDJSON progress lines go to stdout so they can be piped while the table
   // still prints at the end.
   serve::LiveStatsSink live_sink;

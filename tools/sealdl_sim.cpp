@@ -19,10 +19,18 @@
 //   --profile                 cycle-attribution profiler ("profile" report key)
 //   --profile-folded out.txt  collapsed-stack flamegraph export
 //
+// Security audit (network workloads only):
+//   --secure-audit            attach a byte-provenance taint probe to the bus,
+//                             then prove the secure.* no-leakage invariants
+//                             over the recorded ledger (docs/ANALYSIS.md)
+//   --secure-audit-json p     write the ledger + findings (implies the audit);
+//                             byte-identical across --jobs values
+//
 // Every profiled run is checked against the profile.* rule family; the
 // hidden --inject-profile <conservation|total> flag seeds a violation and
 // exits 0 only if the checker catches it (self-test, same discipline as
 // sealdl-check --inject).
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -36,8 +44,10 @@
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "verify/profile_checkers.hpp"
+#include "verify/secure_checkers.hpp"
 #include "workload/gemm_trace.hpp"
 #include "workload/network_runner.hpp"
 
@@ -125,6 +135,15 @@ int run(int argc, char** argv) {
   }
   const bool profile = flags.get_bool("profile", false) ||
                        !folded_path.empty() || !inject_profile.empty();
+  const std::string secure_audit_json = flags.get("secure-audit-json", "");
+  const bool secure_audit =
+      flags.get_bool("secure-audit", false) || !secure_audit_json.empty();
+  if (secure_audit && workload != "vgg16" && workload != "resnet18" &&
+      workload != "resnet34") {
+    throw std::invalid_argument(
+        "--secure-audit needs a network workload (vgg16|resnet18|resnet34): "
+        "the taint probe classifies addresses against the network layout");
+  }
   std::unique_ptr<telemetry::RunTelemetry> collect;
   if (!json_path.empty() || !trace_path.empty() || profile) {
     telemetry::TelemetryOptions topts;
@@ -227,6 +246,18 @@ int run(int argc, char** argv) {
                        : workload == "resnet34"
                            ? models::resnet34_specs(input)
                            : throw std::invalid_argument("unknown --workload " + workload);
+    // The audit input reproduces the runner's layout bit-identically, which
+    // is what lets the probe classify live bus addresses from outside.
+    std::optional<verify::AnalysisInput> audit_input;
+    std::optional<verify::TaintAuditor> auditor;
+    if (secure_audit) {
+      verify::BuildOptions build;
+      build.plan = options.plan;
+      build.selective = choice.selective;
+      audit_input.emplace(verify::build_input(specs, build));
+      auditor.emplace(&*audit_input);
+      options.probe_hook = &*auditor;
+    }
     const auto result = workload::run_network(specs, config, options);
     std::printf("%s (%d x %d input), scheme %s%s\n", workload.c_str(), input, input,
                 sim::scheme_name(config.scheme),
@@ -239,6 +270,44 @@ int run(int argc, char** argv) {
     per_layer.print();
     std::printf("\noverall IPC %.1f, latency %.2f ms @700MHz\n",
                 result.overall_ipc(), result.total_cycles() / 700e3);
+    if (auditor) {
+      std::uint64_t counter_bytes = 0;
+      for (const auto& layer : result.layers) {
+        counter_bytes += layer.stats.counter_traffic_bytes;
+      }
+      const verify::Report audit_report =
+          auditor->check(config.scheme, config.selective, counter_bytes);
+      const verify::TaintLedger& ledger = auditor->ledger();
+      std::printf("secure audit: %llu bus bytes over %zu lines, digest %016llx\n",
+                  static_cast<unsigned long long>(ledger.total_bytes()),
+                  ledger.lines().size(),
+                  static_cast<unsigned long long>(ledger.digest()));
+      if (!secure_audit_json.empty()) {
+        util::JsonWriter json;
+        json.begin_object();
+        json.field("tool", "sealdl-sim");
+        json.field("schema_version", 1);
+        json.field("workload", workload);
+        json.field("scheme", flags.get("scheme", "baseline"));
+        json.field("selective", config.selective);
+        json.field("encryption_ratio", ratio);
+        json.key("ledger");
+        ledger.write_json(json);
+        json.key("report");
+        audit_report.write_json(json);
+        json.end_object();
+        telemetry::write_text_file(secure_audit_json, json.str());
+        std::printf("wrote secure-audit ledger to %s\n",
+                    secure_audit_json.c_str());
+      }
+      if (audit_report.error_count() > 0) {
+        std::fputs(audit_report.to_text().c_str(), stderr);
+        std::fprintf(stderr,
+                     "sealdl-sim: bus traffic violates the secure.* "
+                     "invariants\n");
+        return 1;
+      }
+    }
   }
 
   if (collect) {
