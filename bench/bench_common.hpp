@@ -120,10 +120,13 @@ inline std::unique_ptr<telemetry::RunTelemetry> telemetry_from_flags(
 /// (same schema as the run reports' "provenance" key).
 inline void write_bench_provenance(util::JsonWriter& json,
                                    const sim::GpuConfig& config, int jobs,
-                                   std::vector<std::string> schemes) {
+                                   std::vector<std::string> schemes,
+                                   bool fast_path = true) {
   json.key("provenance");
-  telemetry::write_provenance_json(
-      json, telemetry::make_provenance(config, jobs, std::move(schemes)));
+  telemetry::Provenance prov =
+      telemetry::make_provenance(config, jobs, std::move(schemes));
+  prov.fast_path = fast_path;
+  telemetry::write_provenance_json(json, prov);
 }
 
 /// Scheme labels of five_schemes(), for provenance stamping.

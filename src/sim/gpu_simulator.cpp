@@ -18,9 +18,7 @@ GpuSimulator::GpuSimulator(GpuConfig config, const SecureMap* secure_map)
     l2_slices_.push_back(std::make_unique<L2Slice>(config_, controllers_.back().get()));
   }
   for (int s = 0; s < config_.num_sms; ++s) {
-    sms_.push_back(std::make_unique<SmCore>(
-        config_, s,
-        [this](Cycle now, MemRequest request) { to_l2_.push(now, request); }));
+    sms_.push_back(std::make_unique<SmCore>(config_, s, &to_l2_));
   }
 }
 
@@ -136,7 +134,20 @@ void GpuSimulator::run(Cycle max_cycles) {
   for (;;) {
     deliver_ready(now_);
     int issued = 0;
-    for (auto& sm : sms_) issued += sm->tick(now_);
+    bool launches_pending = false;
+    if (fast_path_) {
+      // Skip SMs whose tick() is a no-op at this cycle (no ready warp, no
+      // pending launch): identical state evolution, none of the per-SM
+      // launch-scan / ready-scan cost for drained or not-yet-hot cores.
+      for (auto& sm : sms_) {
+        if (sm->may_issue()) issued += sm->tick(now_);
+        launches_pending |= sm->launches_pending();
+      }
+    } else {
+      // Naive reference loop: every SM ticked on every visited cycle. Kept
+      // behind --no-fast-path for the differential equivalence harness.
+      for (auto& sm : sms_) issued += sm->tick(now_);
+    }
 
     if (sampler_ && sampler_->due(now_)) take_sample(now_);
 
@@ -148,8 +159,14 @@ void GpuSimulator::run(Cycle max_cycles) {
     if (max_cycles && now_ >= max_cycles) break;
 
     Cycle next = now_ + 1;
-    if (issued == 0) {
-      // Nothing issuable: jump to the next memory event instead of idling.
+    if (fast_path_ && issued == 0 && !launches_pending) {
+      // Nothing issuable and no launch backfill can trigger: every tick()
+      // until the next memory event is a provable no-op (a zero-issue tick
+      // leaves every ready ring empty), so jump straight to that event.
+      // The pending-launch gate matters: tick()'s backfill clause may start
+      // a parked warp on ANY cycle the ready ring runs shallow, so spans
+      // containing pending launches are advanced cycle by cycle — that is
+      // what keeps this path bit-identical to the naive reference loop.
       const Cycle event = next_event_cycle();
       if (event != std::numeric_limits<Cycle>::max() && event > next) {
         next = event;

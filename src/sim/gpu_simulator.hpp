@@ -41,6 +41,18 @@ class GpuSimulator {
   /// `max_cycles` guards against runaway simulations (0 = unlimited).
   void run(Cycle max_cycles = 0);
 
+  /// Selects the run-loop implementation. The fast path (the default) skips
+  /// SMs whose tick() would provably be a no-op and batch-advances the clock
+  /// over state-constant idle spans (see next_event_cycle()); the slow path
+  /// is the naive reference — every SM ticked on every cycle — kept solely
+  /// for differential testing. Both paths produce bit-identical stats,
+  /// telemetry registries, cycle profiles, and bus traffic; only the cycles
+  /// at which the interval sampler observes the run may differ (the sampler
+  /// records at visited cycles, and the fast path visits fewer). Enforced by
+  /// tests/test_fast_path.cpp across networks x schemes x ratios.
+  void set_fast_path(bool on) { fast_path_ = on; }
+  [[nodiscard]] bool fast_path() const { return fast_path_; }
+
   /// Gathers statistics from every component.
   [[nodiscard]] SimStats stats() const;
 
@@ -105,6 +117,7 @@ class GpuSimulator {
       fills_;
   Cycle now_ = 0;
   Cycle finish_cycle_ = 0;
+  bool fast_path_ = true;
 
   telemetry::IntervalSampler* sampler_ = nullptr;
   telemetry::CycleProfiler* profiler_ = nullptr;

@@ -4,8 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "sim/request.hpp"
 
@@ -13,37 +13,66 @@ namespace sealdl::sim {
 
 /// FIFO whose elements become visible a fixed number of cycles after they are
 /// pushed. Models wire/router latency (e.g. the SM<->L2 interconnect).
+///
+/// Storage is a power-of-two ring buffer split struct-of-arrays style: the
+/// ready cycles live in their own contiguous array, so the run loop's
+/// front_ready()/pop_ready() polling — the hottest reads in the simulator —
+/// never drags the payloads through the cache, and pushes never allocate
+/// once the ring has grown to the workload's high-water mark (std::deque
+/// chased 512-byte chunks through a map on every push/pop).
 template <typename T>
 class DelayQueue {
  public:
   explicit DelayQueue(Cycle latency) : latency_(latency) {}
 
-  void push(Cycle now, T value) { items_.push_back({now + latency_, std::move(value)}); }
+  void push(Cycle now, T value) {
+    if (size_ == ready_.size()) grow();
+    const std::size_t slot = (head_ + size_) & mask_;
+    ready_[slot] = now + latency_;
+    values_[slot] = std::move(value);
+    ++size_;
+  }
 
   /// Pops the front element if it is ready at `now`.
   std::optional<T> pop_ready(Cycle now) {
-    if (items_.empty() || items_.front().ready > now) return std::nullopt;
-    T out = std::move(items_.front().value);
-    items_.pop_front();
+    if (size_ == 0 || ready_[head_] > now) return std::nullopt;
+    T out = std::move(values_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
     return out;
   }
 
-  [[nodiscard]] bool empty() const { return items_.empty(); }
-  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Cycle at which the front element becomes ready; only valid if !empty().
   [[nodiscard]] Cycle front_ready() const {
-    assert(!items_.empty());
-    return items_.front().ready;
+    assert(size_ != 0);
+    return ready_[head_];
   }
 
  private:
-  struct Entry {
-    Cycle ready;
-    T value;
-  };
+  void grow() {
+    const std::size_t capacity = ready_.empty() ? 16 : ready_.size() * 2;
+    std::vector<Cycle> ready(capacity);
+    std::vector<T> values(capacity);
+    for (std::size_t i = 0; i < size_; ++i) {
+      const std::size_t slot = (head_ + i) & mask_;
+      ready[i] = ready_[slot];
+      values[i] = std::move(values_[slot]);
+    }
+    ready_ = std::move(ready);
+    values_ = std::move(values);
+    head_ = 0;
+    mask_ = capacity - 1;
+  }
+
   Cycle latency_;
-  std::deque<Entry> items_;
+  std::vector<Cycle> ready_;  ///< SoA: ready cycles, scanned without payloads
+  std::vector<T> values_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;  ///< capacity - 1 (capacity is a power of two)
 };
 
 /// A shared resource with finite bandwidth and a fixed pipeline latency,

@@ -33,6 +33,27 @@ struct SimStats {
   std::uint64_t counter_misses = 0;
   std::uint64_t counter_traffic_bytes = 0;  ///< counter-block reads + writebacks
 
+  /// Accumulates another run's stats into this one. Used when a layer is
+  /// simulated as a sequence of tile-chunk waves: every field — cycles
+  /// included — is a sum over waves (chunk runs execute back to back on the
+  /// same machine, so their cycle counts concatenate).
+  void merge_from(const SimStats& other) {
+    cycles += other.cycles;
+    warp_instructions += other.warp_instructions;
+    thread_instructions += other.thread_instructions;
+    l2_hits += other.l2_hits;
+    l2_misses += other.l2_misses;
+    dram_read_bytes += other.dram_read_bytes;
+    dram_write_bytes += other.dram_write_bytes;
+    encrypted_bytes += other.encrypted_bytes;
+    bypassed_bytes += other.bypassed_bytes;
+    aes_busy_cycles += other.aes_busy_cycles;
+    dram_busy_cycles += other.dram_busy_cycles;
+    counter_hits += other.counter_hits;
+    counter_misses += other.counter_misses;
+    counter_traffic_bytes += other.counter_traffic_bytes;
+  }
+
   [[nodiscard]] double ipc() const {
     return cycles ? static_cast<double>(thread_instructions) / static_cast<double>(cycles)
                   : 0.0;

@@ -4,9 +4,8 @@
 
 namespace sealdl::sim {
 
-SmCore::SmCore(const GpuConfig& config, int sm_id,
-               std::function<void(Cycle, MemRequest)> send_request)
-    : config_(config), sm_id_(sm_id), send_request_(std::move(send_request)) {
+SmCore::SmCore(const GpuConfig& config, int sm_id, DelayQueue<MemRequest>* to_l2)
+    : config_(config), sm_id_(sm_id), to_l2_(to_l2) {
   warps_.resize(static_cast<std::size_t>(config.warps_per_sm));
 }
 
@@ -100,14 +99,14 @@ int SmCore::tick(Cycle now) {
           ++window_stalls_;
           continue;  // try another warp this cycle
         }
-        send_request_(now, MemRequest{op.addr, false, sm_id_, idx});
+        to_l2_->push(now, MemRequest{op.addr, false, sm_id_, idx});
         ++warp.outstanding_loads;
         ++sm_outstanding_;
         ++loads_issued_;
         warp.op.reset();
         break;
       case WarpOp::Kind::kStore:
-        send_request_(now, MemRequest{op.addr, true, sm_id_, -1});
+        to_l2_->push(now, MemRequest{op.addr, true, sm_id_, -1});
         ++stores_issued_;
         warp.op.reset();
         break;

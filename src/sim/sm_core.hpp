@@ -9,10 +9,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "sim/gpu_config.hpp"
+#include "sim/pipes.hpp"
 #include "sim/request.hpp"
 #include "sim/warp_program.hpp"
 
@@ -20,9 +20,11 @@ namespace sealdl::sim {
 
 class SmCore {
  public:
-  /// `send_request` hands a memory request to the interconnect.
-  SmCore(const GpuConfig& config, int sm_id,
-         std::function<void(Cycle, MemRequest)> send_request);
+  /// `to_l2` is the interconnect queue memory requests are pushed into; it is
+  /// borrowed and must outlive the core. A direct queue pointer (rather than
+  /// a std::function sink) keeps the per-request send a plain inlined ring
+  /// push — the issue loop is the simulator's hottest path.
+  SmCore(const GpuConfig& config, int sm_id, DelayQueue<MemRequest>* to_l2);
 
   /// Assigns programs to warps; warps beyond programs.size() stay idle.
   void load_programs(std::vector<WarpProgramPtr> programs);
@@ -57,6 +59,22 @@ class SmCore {
   /// idle-cycle fast-forward).
   [[nodiscard]] bool has_ready_warp() const { return !ready_.empty(); }
 
+  /// True while loaded warps have not yet entered the ready ring. The launch
+  /// backfill clause in tick() can start one of them on ANY cycle (whenever
+  /// the ready ring runs shallow), so cycles may only be fast-forwarded when
+  /// no launches are pending on any SM.
+  [[nodiscard]] bool launches_pending() const {
+    return next_launch_ < launch_count_;
+  }
+
+  /// True when tick() could change state at `now`: a warp is ready to issue
+  /// or a launch is pending. When false, tick() is a provable no-op (the
+  /// launch loop has nothing to start and the issue loop nothing to scan), so
+  /// the fast path skips the call without perturbing any counter or census.
+  [[nodiscard]] bool may_issue() const {
+    return !ready_.empty() || launches_pending();
+  }
+
   /// Cycle of the next staggered warp launch, or Cycle max when none pend.
   [[nodiscard]] Cycle next_launch_cycle() const {
     return next_launch_ < launch_count_ ? next_launch_cycle_
@@ -85,7 +103,7 @@ class SmCore {
 
   const GpuConfig& config_;
   int sm_id_;
-  std::function<void(Cycle, MemRequest)> send_request_;
+  DelayQueue<MemRequest>* to_l2_;
   std::vector<WarpState> warps_;
   std::deque<int> ready_;        ///< round-robin issue order
   std::vector<int> window_wait_; ///< warps parked on a full load window

@@ -45,6 +45,7 @@ void write_provenance_json(util::JsonWriter& json, const Provenance& prov) {
   json.field("config_hash", prov.config_hash);
   json.field("host_cores", prov.host_cores);
   json.field("jobs", prov.jobs);
+  json.field("fast_path", prov.fast_path);
   json.end_object();
 }
 

@@ -29,6 +29,12 @@ struct Provenance {
   std::uint64_t config_hash = 0;     ///< FNV-1a of the serialized config
   int host_cores = 0;                ///< std::thread::hardware_concurrency
   int jobs = 0;                      ///< --jobs the run was invoked with
+  /// Which simulator run loop produced the numbers: true = event-skipping
+  /// fast path (the default), false = naive per-cycle reference
+  /// (--no-fast-path). The two are bit-identical by contract, so this is a
+  /// provenance fact, not a results caveat — recorded so a bench artifact
+  /// says which loop its wall-clock timings measured.
+  bool fast_path = true;
 };
 
 /// FNV-1a over the deterministic serialized config (write_config_json), so

@@ -93,6 +93,20 @@ struct RunOptions {
   /// Optional bus-traffic observer (taint auditing). Null — the default —
   /// attaches no probe and leaves simulation cycle-identical.
   BusProbeHook* probe_hook = nullptr;
+  /// Sub-layer work-unit granularity: when non-zero, each layer's simulated
+  /// tile slice is split into ceil(tiles / chunk_tiles) chunk waves, each a
+  /// private GpuSimulator run (caches cold per wave, cycles summed), merged
+  /// back strictly in (layer, chunk) order. A deep network whose layer count
+  /// barely exceeds the worker count then still scales: the scheduler has
+  /// layers x chunks independent units to balance. 0 — the default — keeps
+  /// one work unit per layer and is byte-identical to the pre-chunking
+  /// runner. Chunked results are a different (coarser-reuse) simulation than
+  /// unchunked ones, but for a fixed chunk_tiles they are bitwise-invariant
+  /// across --jobs, same as everything else in this runner.
+  std::uint64_t chunk_tiles = 0;
+  /// Selects the simulator run loop (see GpuSimulator::set_fast_path).
+  /// false = naive every-SM-every-cycle reference, for differential testing.
+  bool fast_path = true;
 };
 
 /// Simulates one network described by `specs` under `config`.

@@ -2,7 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "sim/request.hpp"
@@ -12,15 +11,21 @@ namespace sealdl::workload {
 
 /// Base class for generators: subclasses emit the next natural group of ops
 /// (one tile chunk) into the buffer; the simulator drains it one op at a time.
+///
+/// The buffer is a flat vector drained by index: refills always land in an
+/// empty buffer, so instead of a deque's chunk map we clear and re-fill one
+/// contiguous allocation that sticks at the largest refill ever produced.
+/// next() is called once per issued op — the second-hottest path after the
+/// SM issue loop — and compiles down to a bounds check and a copy.
 class BufferedWarpProgram : public sim::WarpProgram {
  public:
   std::optional<sim::WarpOp> next() final {
-    while (buffer_.empty()) {
+    while (head_ == buffer_.size()) {
+      buffer_.clear();
+      head_ = 0;
       if (!refill()) return std::nullopt;
     }
-    sim::WarpOp op = buffer_.front();
-    buffer_.pop_front();
-    return op;
+    return buffer_[head_++];
   }
 
  protected:
@@ -100,7 +105,8 @@ class BufferedWarpProgram : public sim::WarpProgram {
   }
 
  private:
-  std::deque<sim::WarpOp> buffer_;
+  std::vector<sim::WarpOp> buffer_;
+  std::size_t head_ = 0;  ///< next() reads buffer_[head_..); refill resets
   std::uint32_t loads_since_mark_ = 0;
 };
 

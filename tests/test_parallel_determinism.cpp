@@ -1,18 +1,22 @@
-// Golden harness for parallel layer-level simulation: run_network with
-// jobs=4 must be *bitwise*-identical to jobs=1 — stats, per-layer phase
-// records, metrics registry, and the sampled time series — across three
-// networks and two encryption ratios, and the shared plan/layout the
-// parallel run simulates must stay sealdl-check clean. Also regression-tests
-// that two runners executing concurrently do not perturb each other.
+// Golden harness for parallel layer-level simulation: run_network at any
+// jobs level (1/2/4/8) must be *bitwise*-identical to jobs=1 — stats,
+// per-layer phase records, metrics registry, cycle profile, and the sampled
+// time series — across three networks, two encryption ratios, and several
+// tile-chunk granularities; the shared plan/layout the parallel run
+// simulates must stay sealdl-check clean; and every profiled run must pass
+// the profile.* conservation rules. Also regression-tests that two runners
+// executing concurrently do not perturb each other.
 #include <gtest/gtest.h>
 
 #include <future>
 #include <thread>
 
 #include "models/layer_spec.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/json.hpp"
 #include "verify/checker.hpp"
+#include "verify/profile_checkers.hpp"
 #include "workload/network_runner.hpp"
 
 namespace sealdl::workload {
@@ -34,11 +38,13 @@ struct SimRun {
   NetworkResult result;
   telemetry::RunTelemetry telemetry;
 
-  SimRun() : telemetry(telemetry::TelemetryOptions{kSampleInterval}) {}
+  SimRun()
+      : telemetry(telemetry::TelemetryOptions{kSampleInterval, /*max_samples=*/0,
+                                              /*profile=*/true}) {}
 };
 
 SimRun run_with_jobs(const std::vector<models::LayerSpec>& specs, double ratio,
-                  int jobs) {
+                     int jobs, std::uint64_t chunk_tiles = 0) {
   sim::GpuConfig config = sim::GpuConfig::gtx480();
   config.scheme = sim::EncryptionScheme::kDirect;
   RunOptions options;
@@ -46,10 +52,20 @@ SimRun run_with_jobs(const std::vector<models::LayerSpec>& specs, double ratio,
   options.selective = true;
   options.plan.encryption_ratio = ratio;
   options.jobs = jobs;
+  options.chunk_tiles = chunk_tiles;
   SimRun run;
   options.telemetry = &run.telemetry;
   run.result = run_network(specs, config, options);
   return run;
+}
+
+/// Every profiled run — any jobs level, any chunking — must satisfy the
+/// profile.* rules: per-component buckets sum exactly to the component
+/// total, and all components of a layer agree on that total.
+void expect_profile_conserved(const SimRun& run) {
+  ASSERT_FALSE(run.telemetry.profile().empty());
+  const verify::Report report = verify::run_profile_check(run.telemetry.profile());
+  EXPECT_EQ(report.error_count(), 0u) << report.to_text();
 }
 
 std::string registry_json(const telemetry::RunTelemetry& telemetry) {
@@ -113,6 +129,10 @@ void expect_runs_identical(const SimRun& serial, const SimRun& parallel) {
   // Metrics registry: the serialized document is the byte-exact golden.
   EXPECT_EQ(registry_json(serial.telemetry), registry_json(parallel.telemetry));
 
+  // Cycle profile: same byte-exact-document discipline.
+  EXPECT_EQ(telemetry::cycle_profile_json(serial.telemetry.profile()),
+            telemetry::cycle_profile_json(parallel.telemetry.profile()));
+
   // Time series: identical sample count, positions, and values.
   const auto* sa = serial.telemetry.sampler();
   const auto* sb = parallel.telemetry.sampler();
@@ -150,6 +170,8 @@ TEST_P(ParallelDeterminism, ParallelRunMatchesSerialBitwise) {
   const SimRun serial = run_with_jobs(specs, ratio, /*jobs=*/1);
   const SimRun parallel = run_with_jobs(specs, ratio, /*jobs=*/4);
   expect_runs_identical(serial, parallel);
+  expect_profile_conserved(serial);
+  expect_profile_conserved(parallel);
   // The shared plan/layout every layer task reads is analyzer-clean.
   expect_check_clean(specs, ratio);
 }
@@ -163,6 +185,61 @@ INSTANTIATE_TEST_SUITE_P(
           std::get<1>(info.param) == 0.5 ? "ratio05" : "ratio10";
       return std::string(std::get<0>(info.param)) + "_" + ratio;
     });
+
+// The full jobs ladder: every worker count produces the same bytes, not just
+// the 1-vs-4 pair. Oversubscription (jobs=8 on any host) exercises the
+// scheduler's interleavings hardest, which is exactly where an
+// order-dependent merge would slip.
+TEST(ParallelDeterminismLadder, AllJobsLevelsMatchSerial) {
+  const auto specs = specs_for("vgg16");
+  const SimRun serial = run_with_jobs(specs, 0.5, /*jobs=*/1);
+  expect_profile_conserved(serial);
+  for (const int jobs : {2, 4, 8}) {
+    const SimRun parallel = run_with_jobs(specs, 0.5, jobs);
+    expect_runs_identical(serial, parallel);
+    expect_profile_conserved(parallel);
+  }
+}
+
+// Tile-chunked work units: for a FIXED chunk size the run is bitwise
+// jobs-invariant across the whole ladder — stats, registry, profile, samples
+// — and the chunk-merged profile still conserves every cycle. (A chunked run
+// is a different simulation than an unchunked one — caches restart cold per
+// wave — so chunk sizes are only ever compared with themselves.)
+class ChunkedDeterminism : public ::testing::TestWithParam<
+                               std::tuple<const char*, std::uint64_t>> {};
+
+TEST_P(ChunkedDeterminism, ChunkedRunIsJobsInvariant) {
+  const auto& [net, chunk] = GetParam();
+  const auto specs = specs_for(net);
+  const SimRun serial = run_with_jobs(specs, 0.5, /*jobs=*/1, chunk);
+  expect_profile_conserved(serial);
+  for (const int jobs : {4, 8}) {
+    const SimRun parallel = run_with_jobs(specs, 0.5, jobs, chunk);
+    expect_runs_identical(serial, parallel);
+    expect_profile_conserved(parallel);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NetworksAndChunks, ChunkedDeterminism,
+    ::testing::Combine(::testing::Values("vgg16", "resnet18"),
+                       ::testing::Values(std::uint64_t{5}, std::uint64_t{16})),
+    [](const ::testing::TestParamInfo<ChunkedDeterminism::ParamType>& info) {
+      return std::string(std::get<0>(info.param)) + "_chunk" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// chunk_tiles large enough to hold every tile of every layer must degenerate
+// to exactly the unchunked runner — same bytes everywhere. This pins the
+// "chunking off by default changes nothing" contract from the other side.
+TEST(ChunkedDeterminism, OversizedChunkMatchesUnchunked) {
+  const auto specs = specs_for("resnet18");
+  const SimRun unchunked = run_with_jobs(specs, 0.5, /*jobs=*/2);
+  const SimRun one_chunk =
+      run_with_jobs(specs, 0.5, /*jobs=*/2, /*chunk_tiles=*/kTiles * 64);
+  expect_runs_identical(unchunked, one_chunk);
+}
 
 // Regression: runners executing concurrently (each itself parallel) must not
 // perturb each other — no hidden global RNG streams, logger buffers, or

@@ -11,6 +11,14 @@
 //
 // Schemes: baseline | direct | counter | seal-d | seal-c.
 //
+// Execution shape:
+//   --jobs N         parallel per-layer simulation (0 = all hardware threads)
+//   --chunk N        split layers into tile-chunk waves of <= N tiles, so deep
+//                    networks scale past #layers workers (results fixed for a
+//                    given --chunk, bitwise-invariant across --jobs)
+//   --no-fast-path   naive per-cycle run loop (differential testing; identical
+//                    results, much slower)
+//
 // Telemetry sinks (see docs/OBSERVABILITY.md):
 //   --json report.json        machine-readable run report
 //   --trace run.trace.json    Chrome trace-event file (Perfetto-compatible)
@@ -164,6 +172,13 @@ int run(int argc, char** argv) {
   // Parallel per-layer simulation (0 = one worker per hardware thread).
   // Results are bitwise-identical to --jobs 1.
   options.jobs = static_cast<int>(flags.get_int("jobs", 1));
+  // Sub-layer work units: --chunk N splits each layer's simulated slice into
+  // tile-chunk waves of at most N tiles (0 = whole layer per unit). For a
+  // fixed --chunk the results are bitwise-identical across --jobs.
+  options.chunk_tiles = static_cast<std::uint64_t>(flags.get_int("chunk", 0));
+  // Naive per-cycle run loop for differential testing of the event-skipping
+  // fast path (identical results, much slower).
+  options.fast_path = !flags.get_bool("no-fast-path", false);
   const bool single_layer =
       workload == "conv" || workload == "pool" || workload == "fc";
   if (single_layer) {
@@ -183,6 +198,7 @@ int run(int argc, char** argv) {
     auto programs = workload::make_gemm_programs(
         spec, config.num_sms * config.warps_per_sm, tiles);
     sim::GpuSimulator simulator(config);
+    simulator.set_fast_path(options.fast_path);
     simulator.load_work(std::move(programs));
     if (collect && collect->sampler()) simulator.set_sampler(collect->sampler());
     std::optional<telemetry::CycleProfiler> profiler;
@@ -316,6 +332,7 @@ int run(int argc, char** argv) {
     config.selective = choice.selective;
     info.provenance = telemetry::make_provenance(config, options.jobs,
                                                  {flags.get("scheme", "baseline")});
+    info.provenance.fast_path = options.fast_path;
     if (collect->profiling()) {
       if (!inject_profile.empty()) {
         // Self-test: corrupt one bucket, then demand the matching rule fires.
