@@ -25,6 +25,14 @@ std::optional<Request> AdmissionQueue::offer(const Request& request) {
       peak_backlog_ = std::max(peak_backlog_, backlog_.size());
       return std::nullopt;
     case OverloadPolicy::kShedOldest: {
+      // depth 0 means there is never a victim to shed: the "full" queue is
+      // empty, and queue_.front() would be undefined behavior. The arrival
+      // is refused outright and counted as a drop, so the accounting
+      // identity generated == completed + dropped + shed still holds.
+      if (queue_.empty()) {
+        ++dropped_;
+        return std::nullopt;
+      }
       Request oldest = queue_.front();
       queue_.pop_front();
       ++shed_;

@@ -1,0 +1,117 @@
+// Multi-device fleet serving: N simulated accelerators behind one router.
+//
+// The fleet generalizes the single-device serving loop (serve/server.hpp)
+// into a deterministic discrete-event simulation over N devices. Devices are
+// grouped into `devices / shard_stages` pipelines; each pipeline owns one
+// bounded admission queue and serves batches through its stages in
+// pipeline-parallel fashion:
+//
+//   * A pluggable Router assigns every arrival to a pipeline: round-robin
+//     (arrival-order rotation), least-loaded (smallest queue + backlog, ties
+//     to the lowest index), or session-affinity (requests of one client
+//     session always land on the same pipeline).
+//   * With shard_stages S > 1, the served model is split into S contiguous
+//     layer groups balanced by batch-1 cycles (ServiceModel::stage_plan).
+//     Each dispatched batch is divided into up to `microbatch` microbatches
+//     that flow through the stages 1F1B-style: stage s of microbatch m
+//     starts at max(stage s free, stage s-1 of m finished + link transfer).
+//     The schedule has the classic warmup (first microbatches fill the
+//     pipeline), steady (all stages busy), and cooldown (drain) phases, and
+//     pipelining across *batches* falls out of the per-stage free timeline:
+//     a new batch's stage 0 may start while the previous batch still
+//     occupies later stages.
+//   * Crossing a stage boundary costs link_latency_cycles plus the boundary
+//     activation bytes at the microbatch's size over link_bytes_per_cycle —
+//     the inter-device link cost model.
+//
+// Everything is a pure function of (options, profiled model): event
+// processing is strictly time-ordered with index-ordered tie-breaks, so a
+// fleet run replays byte-identically for any --jobs value (profiling
+// parallelism never reaches the event loop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace sealdl::serve {
+
+/// How the fleet assigns an arriving request to a pipeline.
+enum class RouterPolicy {
+  kRoundRobin,   ///< rotate over pipelines in arrival order
+  kLeastLoaded,  ///< smallest queue + backlog; ties to the lowest index
+  kAffinity,     ///< request.session hashes to a stable pipeline
+};
+
+const char* router_name(RouterPolicy policy);
+
+/// Parses "round-robin" | "least-loaded" | "affinity"; throws
+/// std::invalid_argument.
+RouterPolicy parse_router(const std::string& name);
+
+/// True iff `policy` is a declared enumerator (guards forged values, the
+/// same contract as serve::policy_known).
+bool router_known(RouterPolicy policy);
+
+struct FleetOptions {
+  /// Simulated accelerators. Must be >= 1 and divisible by shard_stages;
+  /// devices / shard_stages pipelines serve independently.
+  int devices = 1;
+  RouterPolicy router = RouterPolicy::kRoundRobin;
+  /// Pipeline-parallel stages the model is sharded into (1 = no sharding).
+  int shard_stages = 1;
+  /// Microbatches one dispatched batch is split into when sharded (clamped
+  /// to the batch size at dispatch time). 1 = whole-batch stage hops.
+  int microbatch = 2;
+  /// Fixed cycles per stage-boundary hop (link + peer handshake latency).
+  double link_latency_cycles = 2000.0;
+  /// Inter-device link bandwidth in bytes per core cycle; boundary
+  /// activation traffic is charged at this rate.
+  double link_bytes_per_cycle = 16.0;
+};
+
+/// Per-device accounting. Device index d serves stage d % shard_stages of
+/// pipeline d / shard_stages. Admission outcomes (routed/completed/dropped/
+/// shed/blocked) are attributed to the pipeline's stage-0 device — that is
+/// where the queue physically sits; later-stage devices only execute.
+struct DeviceReport {
+  int device = 0;
+  int pipeline = 0;
+  int stage = 0;
+  std::uint64_t routed = 0;     ///< arrivals the router sent here
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t batches = 0;          ///< dispatches anchored on this device
+  std::uint64_t stage_runs = 0;       ///< microbatch-stage executions here
+  double busy_cycles = 0.0;           ///< cycles spent executing (+ dispatch)
+  double last_free = 0.0;             ///< when this device last went idle
+};
+
+/// Fleet-wide report: the familiar single-device totals plus per-device
+/// decomposition. The fleet.* rule family proves the two views reconcile
+/// (per-device sums equal fleet totals; see verify/fleet_checkers.hpp).
+struct FleetReport {
+  ServeReport totals;
+  int devices = 1;
+  int stages = 1;
+  int pipelines = 1;
+  std::uint64_t microbatches = 0;      ///< total dispatched microbatches
+  std::uint64_t stage_runs = 0;        ///< microbatches x stages executed
+  std::vector<DeviceReport> device_reports;
+};
+
+/// Runs the fleet serving loop. Telemetry mirrors run_server — batch/stage
+/// phase records (one per device track), serve/* registry instruments plus
+/// per-device fleet/d<i>/* counters, and per-request lifecycle spans — and
+/// live_stats emits one NDJSON line at every crossed interval boundary of
+/// simulated time, state snapshotted at the crossing instant.
+FleetReport run_fleet(const ServiceModel& model, const ServeOptions& options,
+                      const FleetOptions& fleet, const sim::GpuConfig& config,
+                      telemetry::RunTelemetry* collect,
+                      const LiveStatsSink& live_stats = {});
+
+}  // namespace sealdl::serve

@@ -19,6 +19,10 @@ std::vector<Request> generate_requests(const ServeOptions& options,
   const double horizon = options.duration_s * cycles_per_second;
 
   util::Rng rng(options.seed);
+  // Sessions come from their own stream: the gap/network draws above are the
+  // ones every committed artifact depends on, and interleaving a third draw
+  // would silently reshuffle all of them.
+  util::Rng session_rng(options.seed ^ 0xA5A5F00DD00FA5A5ULL);
   std::vector<Request> requests;
   double clock = 0.0;
   for (;;) {
@@ -31,6 +35,8 @@ std::vector<Request> generate_requests(const ServeOptions& options,
     request.id = static_cast<std::uint64_t>(requests.size());
     request.network =
         static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_networks)));
+    request.session =
+        static_cast<std::uint32_t>(session_rng.next_below(1ULL << 16));
     request.arrival = static_cast<sim::Cycle>(clock);
     requests.push_back(request);
   }

@@ -19,6 +19,11 @@ namespace sealdl::serve {
 struct Request {
   std::uint64_t id = 0;      ///< arrival order, 0-based
   int network = 0;           ///< index into the ServiceModel's networks
+  /// Client session the request belongs to (uniform over [0, 2^16)). Drawn
+  /// from an Rng stream independent of the gap/network draws, so adding the
+  /// field left every pre-existing arrival schedule byte-identical. The
+  /// fleet's session-affinity router keys on it.
+  std::uint32_t session = 0;
   sim::Cycle arrival = 0;    ///< cycle the request reaches the server
   /// Cycle the request entered the admission queue: the arrival cycle when
   /// admitted directly, the backlog-refill cycle under the block policy.

@@ -1,294 +1,19 @@
 #include "serve/server.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <string>
-
-#include "serve/admission_queue.hpp"
-#include "telemetry/phase.hpp"
-#include "util/json.hpp"
-#include "util/stats.hpp"
+#include "serve/fleet.hpp"
 
 namespace sealdl::serve {
-
-namespace {
-
-// Latency histogram bounds: 5 ms resolution up to 10 s. Saturated tails are
-// visible through the exported overflow count (Histogram::percentile clamps
-// to hi by contract).
-constexpr double kLatencyHistMs = 10000.0;
-constexpr std::size_t kLatencyBuckets = 2000;
-
-/// Annotates one dispatched batch as a phase record so the Perfetto trace
-/// and the run report's layer array show the serving timeline.
-telemetry::LayerPhaseRecord batch_record(const ServiceModel& model,
-                                         const BatchRecord& batch) {
-  const ServiceModel::Aggregate& aggregate = model.aggregate(batch.network);
-  const double b = static_cast<double>(batch.size);
-  telemetry::LayerPhaseRecord record;
-  record.name =
-      "serve/" + model.name(batch.network) + "x" + std::to_string(batch.size);
-  record.start_cycle = batch.start;
-  record.sim_cycles = static_cast<sim::Cycle>(batch.cycles);
-  record.scale = 1.0;
-  record.full_cycles = batch.cycles;
-  record.thread_instructions =
-      static_cast<std::uint64_t>(aggregate.instructions * b);
-  record.ipc = batch.cycles > 0.0
-                   ? aggregate.instructions * b / batch.cycles
-                   : 0.0;
-  record.dram_bytes = static_cast<std::uint64_t>(aggregate.dram_bytes * b);
-  record.encrypted_bytes =
-      static_cast<std::uint64_t>(aggregate.encrypted_bytes * b);
-  record.bypassed_bytes =
-      static_cast<std::uint64_t>(aggregate.bypassed_bytes * b);
-  record.encrypted_fraction =
-      aggregate.dram_bytes > 0.0
-          ? aggregate.encrypted_bytes / aggregate.dram_bytes
-          : 0.0;
-  record.dram_util = aggregate.dram_util;
-  record.aes_util = aggregate.aes_util;
-  record.bound = telemetry::classify_bound(record.dram_util, record.aes_util);
-  return record;
-}
-
-/// One deterministic NDJSON live-stats line at simulated instant `cycle`.
-std::string live_stats_line(double cycle, const sim::GpuConfig& config,
-                            const ServeReport& report,
-                            const AdmissionQueue& queue) {
-  util::JsonWriter json;
-  json.begin_object();
-  json.field("t_s", cycle / (config.core_mhz * 1e6));
-  json.field("cycle", static_cast<std::uint64_t>(cycle));
-  json.field("completed", report.completed);
-  json.field("batches", report.batches);
-  json.field("dropped", queue.dropped());
-  json.field("shed", queue.shed());
-  json.field("blocked", queue.blocked());
-  json.field("queued", static_cast<std::uint64_t>(queue.size()));
-  json.field("backlog", static_cast<std::uint64_t>(queue.backlog_size()));
-  json.end_object();
-  return json.str();
-}
-
-}  // namespace
 
 ServeReport run_server(const ServiceModel& model, const ServeOptions& options,
                        const sim::GpuConfig& config,
                        telemetry::RunTelemetry* collect,
                        const LiveStatsSink& live_stats) {
-  const std::vector<Request> arrivals =
-      generate_requests(options, model.count(), config.core_mhz);
-  AdmissionQueue queue(options.queue_depth, options.policy);
-
-  const double ms_per_cycle = 1.0 / (config.core_mhz * 1e3);
-  util::Histogram latency_ms(0.0, kLatencyHistMs, kLatencyBuckets);
-  util::Histogram queue_ms(0.0, kLatencyHistMs, kLatencyBuckets);
-  util::RunningStats queue_wait;
-  // Lifecycle-stage histograms (completed requests only). The dispatch stage
-  // is a constant per configuration; it still gets a histogram so every
-  // stage reports through the same percentile machinery.
-  util::Histogram backlog_ms(0.0, kLatencyHistMs, kLatencyBuckets);
-  util::Histogram stage_queue_ms(0.0, kLatencyHistMs, kLatencyBuckets);
-  util::Histogram dispatch_ms(0.0, kLatencyHistMs, kLatencyBuckets);
-  util::Histogram execute_ms(0.0, kLatencyHistMs, kLatencyBuckets);
-
-  ServeReport report;
-  report.generated = arrivals.size();
-
-  const bool tracing = collect != nullptr;
-  // Lifecycle record for a request that never reached a dispatch.
-  const auto record_lost = [&](const Request& request, const char* outcome,
-                               double end_cycle) {
-    if (!tracing) return;
-    telemetry::RequestSpanRecord span;
-    span.id = request.id;
-    span.network = model.name(request.network);
-    span.outcome = outcome;
-    span.arrival = request.arrival;
-    span.backlog_cycles = static_cast<double>(request.admit - request.arrival);
-    span.queue_cycles =
-        std::max(0.0, end_cycle - static_cast<double>(request.admit));
-    collect->requests().push_back(std::move(span));
-  };
-  // offer() with outcome attribution: a returned victim was shed, and a
-  // dropped() increment means the newcomer itself was refused. Both end
-  // their lifecycle at the offer instant (the newcomer's arrival).
-  const auto offer_tracked = [&](const Request& request) {
-    const std::uint64_t dropped_before = tracing ? queue.dropped() : 0;
-    const std::optional<Request> victim = queue.offer(request);
-    if (!tracing) return;
-    if (victim) {
-      record_lost(*victim, "shed", static_cast<double>(request.arrival));
-    }
-    if (queue.dropped() != dropped_before) {
-      Request refused = request;
-      refused.admit = request.arrival;  // never queued: zero-length stages
-      record_lost(refused, "dropped", static_cast<double>(request.arrival));
-    }
-  };
-
-  // Live-stats cadence in simulated cycles.
-  const bool live = options.live_stats && live_stats &&
-                    options.live_stats_interval_s > 0.0;
-  const double live_interval_cycles =
-      options.live_stats_interval_s * config.core_mhz * 1e6;
-  double next_emit = live_interval_cycles;
-
-  double device_free = 0.0;
-  std::size_t next = 0;
-  while (next < arrivals.size() || !queue.empty()) {
-    if (queue.empty()) {
-      offer_tracked(arrivals[next]);
-      ++next;
-      continue;
-    }
-    // The device dispatches when it is free and has work; every arrival at
-    // or before that instant is offered first (shedding may replace the
-    // front and push the dispatch later, so re-anchor until stable).
-    double start =
-        std::max(device_free, static_cast<double>(queue.front().arrival));
-    while (next < arrivals.size() &&
-           static_cast<double>(arrivals[next].arrival) <= start) {
-      offer_tracked(arrivals[next]);
-      ++next;
-      start = std::max(device_free, static_cast<double>(queue.front().arrival));
-    }
-
-    const std::vector<Request> batch =
-        queue.pop_batch(options.max_batch, static_cast<sim::Cycle>(start));
-    const int network = batch.front().network;
-    const double service =
-        options.dispatch_overhead_cycles +
-        model.service_cycles(network, static_cast<int>(batch.size()));
-    ++report.batches;
-
-    for (const Request& request : batch) {
-      const double wait = start - static_cast<double>(request.arrival);
-      const double latency = wait + service;
-      latency_ms.add(latency * ms_per_cycle);
-      queue_ms.add(wait * ms_per_cycle);
-      queue_wait.add(wait * ms_per_cycle);
-
-      // Stage decomposition. The execute stage is defined as the remainder
-      // of the end-to-end latency after the attributed stages, so the four
-      // stages sum to the measured latency by construction (the
-      // profile.serve.stages reconciliation) instead of drifting by
-      // floating-point dust.
-      const double backlog =
-          static_cast<double>(request.admit - request.arrival);
-      const double queued = start - static_cast<double>(request.admit);
-      const double dispatch = options.dispatch_overhead_cycles;
-      const double attributed = backlog + queued + dispatch;
-      const double execute = latency - attributed;
-      backlog_ms.add(backlog * ms_per_cycle);
-      stage_queue_ms.add(queued * ms_per_cycle);
-      dispatch_ms.add(dispatch * ms_per_cycle);
-      execute_ms.add(execute * ms_per_cycle);
-      report.stage_cycles_sum += attributed + execute;
-      report.latency_cycles_sum += latency;
-
-      if (tracing) {
-        telemetry::RequestSpanRecord span;
-        span.id = request.id;
-        span.network = model.name(request.network);
-        span.outcome = "completed";
-        span.arrival = request.arrival;
-        span.backlog_cycles = backlog;
-        span.queue_cycles = queued;
-        span.dispatch_cycles = dispatch;
-        span.execute_cycles = execute;
-        span.batch = report.batches;
-        collect->requests().push_back(std::move(span));
-      }
-    }
-    report.completed += batch.size();
-
-    BatchRecord record;
-    record.network = network;
-    record.size = static_cast<int>(batch.size());
-    record.start = static_cast<sim::Cycle>(start);
-    record.cycles = service;
-    report.batch_log.push_back(record);
-    if (collect) collect->layers().push_back(batch_record(model, record));
-
-    device_free = start + service;
-    while (live && device_free >= next_emit) {
-      live_stats(live_stats_line(next_emit, config, report, queue));
-      next_emit += live_interval_cycles;
-    }
-  }
-
-  report.dropped = queue.dropped();
-  report.shed = queue.shed();
-  report.blocked = queue.blocked();
-  report.peak_backlog = queue.peak_backlog();
-  report.end_cycle = static_cast<sim::Cycle>(device_free);
-  report.mean_batch =
-      report.batches
-          ? static_cast<double>(report.completed) / static_cast<double>(report.batches)
-          : 0.0;
-  report.p50_ms = latency_ms.percentile(50.0);
-  report.p95_ms = latency_ms.percentile(95.0);
-  report.p99_ms = latency_ms.percentile(99.0);
-  report.mean_queue_ms = queue_wait.mean();
-  const auto stage_latency = [](const util::Histogram& hist) {
-    StageLatency stage;
-    stage.p50_ms = hist.percentile(50.0);
-    stage.p95_ms = hist.percentile(95.0);
-    stage.p99_ms = hist.percentile(99.0);
-    return stage;
-  };
-  report.stage_backlog = stage_latency(backlog_ms);
-  report.stage_queue = stage_latency(stage_queue_ms);
-  report.stage_dispatch = stage_latency(dispatch_ms);
-  report.stage_execute = stage_latency(execute_ms);
-  const double seconds =
-      static_cast<double>(report.end_cycle) / (config.core_mhz * 1e6);
-  report.throughput_rps =
-      seconds > 0.0 ? static_cast<double>(report.completed) / seconds : 0.0;
-  report.drop_rate =
-      report.generated
-          ? static_cast<double>(report.dropped + report.shed) /
-                static_cast<double>(report.generated)
-          : 0.0;
-
-  if (collect) {
-    telemetry::MetricsRegistry& registry = collect->registry();
-    registry.counter("serve/generated").add(report.generated);
-    registry.counter("serve/completed").add(report.completed);
-    registry.counter("serve/dropped").add(report.dropped);
-    registry.counter("serve/shed").add(report.shed);
-    registry.counter("serve/blocked").add(report.blocked);
-    registry.counter("serve/batches").add(report.batches);
-    registry.gauge("serve/mean_batch").add(report.mean_batch);
-    registry.gauge("serve/throughput_rps").add(report.throughput_rps);
-    registry.gauge("serve/drop_rate").add(report.drop_rate);
-    registry.gauge("serve/mean_queue_ms").add(report.mean_queue_ms);
-    registry
-        .histogram("serve/latency_ms", 0.0, kLatencyHistMs, kLatencyBuckets)
-        .merge(latency_ms);
-    registry
-        .histogram("serve/queue_ms", 0.0, kLatencyHistMs, kLatencyBuckets)
-        .merge(queue_ms);
-    registry
-        .histogram("serve/stage/backlog_ms", 0.0, kLatencyHistMs,
-                   kLatencyBuckets)
-        .merge(backlog_ms);
-    registry
-        .histogram("serve/stage/queue_ms", 0.0, kLatencyHistMs,
-                   kLatencyBuckets)
-        .merge(stage_queue_ms);
-    registry
-        .histogram("serve/stage/dispatch_ms", 0.0, kLatencyHistMs,
-                   kLatencyBuckets)
-        .merge(dispatch_ms);
-    registry
-        .histogram("serve/stage/execute_ms", 0.0, kLatencyHistMs,
-                   kLatencyBuckets)
-        .merge(execute_ms);
-  }
-  return report;
+  // The single-device server is the degenerate fleet: one device, one
+  // pipeline, no sharding. run_fleet's one-stage path charges
+  // dispatch_overhead + ServiceModel::service_cycles per batch, exactly the
+  // historical loop.
+  return run_fleet(model, options, FleetOptions{}, config, collect, live_stats)
+      .totals;
 }
 
 }  // namespace sealdl::serve

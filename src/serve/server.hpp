@@ -11,6 +11,9 @@
 // carry the serving view. Simulation parallelism (--jobs) lives entirely in
 // the ServiceModel profiling stage — the loop itself is sequential and
 // replays bit-identically for a fixed seed.
+//
+// run_server is the one-device special case of serve/fleet.hpp's run_fleet;
+// multi-device serving (routers, pipeline-parallel sharding) lives there.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +33,8 @@ struct BatchRecord {
   int network = 0;
   int size = 0;
   sim::Cycle start = 0;      ///< dispatch cycle
-  double cycles = 0.0;       ///< service time incl. dispatch overhead
+  double cycles = 0.0;       ///< dispatch-to-completion time incl. overhead
+  int device = 0;            ///< global device index of the anchoring stage-0
 };
 
 /// Percentiles of one lifecycle stage's latency over completed requests.

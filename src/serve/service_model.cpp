@@ -73,7 +73,8 @@ ServiceModel::ServiceModel(std::vector<NamedNetwork> networks,
                            const workload::RunOptions& base_options,
                            int max_batch, int jobs,
                            telemetry::RunTelemetry* collect,
-                           std::vector<workload::BusProbeHook*> probe_hooks) {
+                           std::vector<workload::BusProbeHook*> probe_hooks)
+    : config_(config) {
   if (networks.empty()) throw std::invalid_argument("ServiceModel: no networks");
   if (!probe_hooks.empty() && probe_hooks.size() != networks.size()) {
     throw std::invalid_argument(
@@ -152,6 +153,67 @@ ServiceModel::ServiceModel(std::vector<NamedNetwork> networks,
     }
     cycles_.push_back(std::move(curve));
   }
+}
+
+ServiceModel::StagePlan ServiceModel::stage_plan(int network, int stages,
+                                                 int max_batch) const {
+  const workload::NetworkResult& result =
+      profiles_.at(static_cast<std::size_t>(network));
+  const int num_stages = std::max(1, stages);
+  const int batches = std::max(1, max_batch);
+  StagePlan plan;
+  plan.cycles.assign(static_cast<std::size_t>(num_stages), {});
+  plan.boundary_bytes.assign(static_cast<std::size_t>(num_stages), 0.0);
+
+  if (num_stages == 1) {
+    // Unsharded: reuse the whole-network batch curve so the one-stage fleet
+    // path reproduces service_cycles() to the bit.
+    auto& curve = plan.cycles[0];
+    curve.reserve(static_cast<std::size_t>(batches));
+    for (int b = 1; b <= batches; ++b) {
+      curve.push_back(workload::batched_network_cycles(result, config_, b));
+    }
+    return plan;
+  }
+
+  double total = 0.0;
+  for (const workload::LayerResult& layer : result.layers) {
+    total += layer.full_cycles();
+  }
+  std::vector<std::vector<const workload::LayerResult*>> groups(
+      static_cast<std::size_t>(num_stages));
+  double cum = 0.0;
+  for (const workload::LayerResult& layer : result.layers) {
+    const double midpoint = cum + layer.full_cycles() / 2.0;
+    int stage = total > 0.0
+                    ? static_cast<int>(midpoint / total *
+                                       static_cast<double>(num_stages))
+                    : 0;
+    stage = std::clamp(stage, 0, num_stages - 1);
+    groups[static_cast<std::size_t>(stage)].push_back(&layer);
+    cum += layer.full_cycles();
+  }
+  // A network with fewer layers than stages leaves trailing groups empty;
+  // an empty stage simply costs zero cycles and forwards zero bytes.
+  for (int s = 0; s < num_stages; ++s) {
+    auto& group = groups[static_cast<std::size_t>(s)];
+    auto& curve = plan.cycles[static_cast<std::size_t>(s)];
+    curve.reserve(static_cast<std::size_t>(batches));
+    for (int b = 1; b <= batches; ++b) {
+      double cycles = 0.0;
+      for (const workload::LayerResult* layer : group) {
+        cycles += workload::batched_layer_cycles(*layer, config_, b);
+      }
+      curve.push_back(cycles);
+    }
+    if (s + 1 < num_stages && !group.empty()) {
+      const workload::LayerResult* boundary = group.back();
+      plan.boundary_bytes[static_cast<std::size_t>(s)] =
+          static_cast<double>(boundary->stats.dram_write_bytes) *
+          boundary->scale;
+    }
+  }
+  return plan;
 }
 
 double ServiceModel::service_cycles(int network, int batch) const {

@@ -64,6 +64,26 @@ class ServiceModel {
   /// [1, max_batch].
   [[nodiscard]] double service_cycles(int network, int batch) const;
 
+  /// Pipeline-parallel stage decomposition for the fleet's model sharding:
+  /// the network's layers split into `stages` contiguous groups balanced by
+  /// batch-1 cycles (each layer lands in the stage its cumulative-cycle
+  /// midpoint falls in, so the partition is deterministic and contiguous).
+  struct StagePlan {
+    /// cycles[s][b - 1]: stage s's batch-b service cycles. Summed over all
+    /// stages this equals the unsharded batch-b service time — sharding
+    /// moves work, it never creates or destroys cycles.
+    std::vector<std::vector<double>> cycles;
+    /// Activation bytes one inference pushes across the inter-device link
+    /// after stage s (the boundary layer's scaled DRAM write traffic).
+    /// boundary_bytes[stages - 1] is always 0: the last stage exits to the
+    /// host, not to a peer device.
+    std::vector<double> boundary_bytes;
+  };
+  /// Builds the plan for `stages` pipeline stages with batch curves up to
+  /// `max_batch`. stages == 1 reproduces service_cycles() exactly.
+  [[nodiscard]] StagePlan stage_plan(int network, int stages,
+                                     int max_batch) const;
+
   /// Full-network totals of the batch-1 profile, scaled to full layers —
   /// used to annotate batch spans in the serving telemetry.
   struct Aggregate {
@@ -79,6 +99,7 @@ class ServiceModel {
   }
 
  private:
+  sim::GpuConfig config_;  ///< profiling config, reused by stage_plan()
   std::vector<std::string> names_;
   std::vector<workload::NetworkResult> profiles_;
   std::vector<Aggregate> aggregates_;

@@ -37,6 +37,10 @@ struct LayerPhaseRecord {
   double aes_util = 0.0;
   double l2_hit_rate = 0.0;
   Bound bound = Bound::kCompute;
+  /// Global fleet device index executing this span; -1 = not device-bound
+  /// (plain simulator layer records). Serving batch/stage spans set it so
+  /// the Perfetto trace renders one track per device.
+  int device = -1;
 };
 
 /// A resource above this average utilization is considered saturated.

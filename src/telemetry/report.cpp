@@ -92,6 +92,9 @@ void write_layer_json(util::JsonWriter& json, const LayerPhaseRecord& layer) {
   json.field("aes_util", layer.aes_util);
   json.field("l2_hit_rate", layer.l2_hit_rate);
   json.field("bound", bound_name(layer.bound));
+  // Fleet device executing this span; absent for plain simulator layers so
+  // pre-fleet reports keep their exact shape.
+  if (layer.device >= 0) json.field("device", layer.device);
   json.end_object();
 }
 

@@ -33,6 +33,8 @@ struct RequestSpanRecord {
   double execute_cycles = 0.0;    ///< simulated batch execution share
   std::uint64_t batch = 0;        ///< 1-based dispatch sequence (0 = none):
                                   ///< flow-event link to the batch span
+  int device = -1;                ///< fleet device the request was served on
+                                  ///< (stage-0 of its pipeline); -1 = n/a
 };
 
 struct TelemetryOptions {

@@ -1,5 +1,7 @@
 #include "telemetry/trace.hpp"
 
+#include <set>
+
 namespace sealdl::telemetry {
 
 namespace {
@@ -124,6 +126,16 @@ std::string chrome_trace_json(const RunInfo& info, const sim::GpuConfig& config,
   if (!telemetry.requests().empty()) {
     write_metadata(json, "thread_name", 0, 1, "requests");
   }
+  // Device-bound serving spans render one named track per fleet device
+  // (tid 2 + device); untagged records stay on the shared layers track.
+  std::set<int> devices;
+  for (const LayerPhaseRecord& layer : telemetry.layers()) {
+    if (layer.device >= 0) devices.insert(layer.device);
+  }
+  for (const int device : devices) {
+    write_metadata(json, "thread_name", 0, 2 + device,
+                   "device" + std::to_string(device));
+  }
 
   for (const LayerPhaseRecord& layer : telemetry.layers()) {
     json.begin_object();
@@ -133,7 +145,7 @@ std::string chrome_trace_json(const RunInfo& info, const sim::GpuConfig& config,
     json.field("ts", to_us(static_cast<double>(layer.start_cycle), config));
     json.field("dur", to_us(static_cast<double>(layer.sim_cycles), config));
     json.field("pid", 0);
-    json.field("tid", 0);
+    json.field("tid", layer.device >= 0 ? 2 + layer.device : 0);
     json.key("args").begin_object();
     json.field("bound", bound_name(layer.bound));
     json.field("ipc", layer.ipc);

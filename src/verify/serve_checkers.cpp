@@ -49,8 +49,11 @@ void check_serve_options(const serve::ServeOptions& options, int jobs,
               "max batch must be >= 1 (got " +
                   std::to_string(options.max_batch) + ")");
   }
-  if (options.queue_depth < 1) {
-    add_error(report, "serve.options.queue", "queue depth must be >= 1");
+  if (options.queue_depth == 0) {
+    // Explicitly rejected: a zero-capacity queue makes every overload policy
+    // degenerate (shed-oldest has no victim and silently becomes drop).
+    add_error(report, "serve.options.queue",
+              "queue depth 0 is rejected: no request could ever be admitted");
   } else if (options.max_batch >= 1 &&
              options.queue_depth < static_cast<std::size_t>(options.max_batch)) {
     add_error(report, "serve.options.queue",

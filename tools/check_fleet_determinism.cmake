@@ -1,0 +1,49 @@
+# ctest gate: fleet serving must replay byte-identically across --jobs for
+# every fleet size. For each --devices value in {1, 2, 4} the full JSON run
+# report (registry counters, profile layers, request spans) is generated
+# under --jobs 1 and --jobs 4 and byte-compared — profiling parallelism must
+# never leak into the multi-device event loop. Invoked as:
+#   cmake -DSERVE_BIN=<path> -DOUT_DIR=<dir> -P check_fleet_determinism.cmake
+if(NOT DEFINED SERVE_BIN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DSERVE_BIN=... -DOUT_DIR=... -P check_fleet_determinism.cmake")
+endif()
+
+set(common_flags
+  --networks vgg16,resnet18 --scheme seal-d --rate 80 --duration 0.05
+  --queue-depth 8 --batch 4 --policy shed-oldest --tiles 48 --seed 7
+  --router least-loaded --microbatch 2)
+
+foreach(devices 1 2 4)
+  # 4 devices also exercise sharding: two 2-stage pipelines.
+  if(devices EQUAL 4)
+    set(shard_flags --shard-stages 2)
+  else()
+    set(shard_flags)
+  endif()
+  foreach(jobs 1 4)
+    execute_process(
+      COMMAND ${SERVE_BIN} ${common_flags} ${shard_flags}
+              --devices ${devices} --jobs ${jobs}
+              --json ${OUT_DIR}/fleet_d${devices}_j${jobs}.json
+      RESULT_VARIABLE rc
+      OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "sealdl-serve --devices ${devices} --jobs ${jobs} failed (rc=${rc})")
+    endif()
+  endforeach()
+
+  # The provenance block legitimately differs across job counts (it records
+  # --jobs); strip it before comparing. It is a flat object (no nested
+  # braces), emitted on the single-line report, so a non-greedy brace match
+  # is exact.
+  file(READ ${OUT_DIR}/fleet_d${devices}_j1.json report_j1)
+  file(READ ${OUT_DIR}/fleet_d${devices}_j4.json report_j4)
+  string(REGEX REPLACE "\"provenance\":{[^}]*}," "" report_j1 "${report_j1}")
+  string(REGEX REPLACE "\"provenance\":{[^}]*}," "" report_j4 "${report_j4}")
+  if(NOT report_j1 STREQUAL report_j4)
+    message(FATAL_ERROR
+      "fleet reports differ between --jobs 1 and --jobs 4 at --devices ${devices}")
+  endif()
+  message(STATUS "fleet determinism OK at --devices ${devices}: --jobs 1 == --jobs 4")
+endforeach()

@@ -45,7 +45,7 @@ endif()
 # Reverse direction: backticked dotted ids in the document. Restrict to the
 # known rule-family prefixes so prose mentioning e.g. `docs/ANALYSIS.md` or
 # flag names never false-positives.
-string(REGEX MATCHALL "`(plan|layout|trace|secure|lock|serve|profile)\\.[a-z0-9.-]+`"
+string(REGEX MATCHALL "`(plan|layout|trace|secure|lock|serve|profile|fleet)\\.[a-z0-9.-]+`"
        doc_rules "${doc}")
 list(REMOVE_DUPLICATES doc_rules)
 set(missing_in_binary "")

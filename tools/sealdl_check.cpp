@@ -27,6 +27,7 @@
 #include "util/json.hpp"
 #include "verify/checker.hpp"
 #include "verify/concurrency.hpp"
+#include "verify/fleet_checkers.hpp"
 #include "verify/profile_checkers.hpp"
 #include "verify/secure_checkers.hpp"
 #include "verify/serve_checkers.hpp"
@@ -63,6 +64,9 @@ void list_rules() {
   // Rule families owned by other entry points, listed here so the catalog
   // printed by --list-rules stays the single complete index.
   for (const std::string& rule : verify::serve_option_rules()) {
+    std::printf("%-16s (validated by sealdl-serve)\n", rule.c_str());
+  }
+  for (const std::string& rule : verify::fleet_rules()) {
     std::printf("%-16s (validated by sealdl-serve)\n", rule.c_str());
   }
   for (const std::string& rule : verify::profile_rules()) {

@@ -10,6 +10,15 @@
 //   sealdl-serve --networks vgg16,resnet18 --rate 50 --policy shed-oldest
 //   sealdl-serve --rate 100 --queue-depth 16 --batch 8 --policy block --jobs 4
 //
+// Fleet serving (src/serve/fleet.hpp): --devices N simulates N accelerators
+// behind a --router (round-robin | least-loaded | affinity);
+// --shard-stages S > 1 splits the model into S-stage pipelines of S devices
+// each (N must be a multiple of S) with --microbatch interleaving and a
+// --link-latency/--link-bpc inter-device link cost. Per-device counters land
+// in the registry (fleet/d<i>/*), batch spans render one Perfetto track per
+// device, and the fleet.* reconciliation rules prove the per-device
+// decomposition sums back to the fleet totals after every run.
+//
 // Telemetry sinks (see docs/OBSERVABILITY.md):
 //   --json report.json        run report: profile layers + batch spans +
 //                             serve/* counters and latency histograms
@@ -38,12 +47,14 @@
 #include <string>
 #include <vector>
 
+#include "serve/fleet.hpp"
 #include "serve/server.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
+#include "verify/fleet_checkers.hpp"
 #include "verify/profile_checkers.hpp"
 #include "verify/secure_checkers.hpp"
 #include "verify/serve_checkers.hpp"
@@ -104,9 +115,26 @@ int run(int argc, char** argv) {
   serve_options.profile = flags.has("profile-out");
   serve_options.profile_path = flags.get("profile-out", "");
 
+  serve::FleetOptions fleet_options;
+  fleet_options.devices = static_cast<int>(flags.get_int("devices", 1));
+  fleet_options.shard_stages =
+      static_cast<int>(flags.get_int("shard-stages", 1));
+  fleet_options.microbatch = static_cast<int>(flags.get_int("microbatch", 2));
+  fleet_options.link_latency_cycles =
+      flags.get_double("link-latency", 2000.0);
+  fleet_options.link_bytes_per_cycle = flags.get_double("link-bpc", 16.0);
+
+  const std::string inject_fleet = flags.get("inject-fleet", "");
+  if (!inject_fleet.empty() && inject_fleet != "requests" &&
+      inject_fleet != "batches" && inject_fleet != "stages" &&
+      inject_fleet != "devices") {
+    throw std::invalid_argument("unknown --inject-fleet " + inject_fleet +
+                                " (requests|batches|stages|devices)");
+  }
+
   // Static config validation: collect every violation (including an
-  // unparsable --policy) into one report so the operator sees the full
-  // list, then refuse with exit code 2 and the stable rule ids.
+  // unparsable --policy or --router) into one report so the operator sees
+  // the full list, then refuse with exit code 2 and the stable rule ids.
   verify::Report options_report;
   try {
     serve_options.policy = serve::parse_policy(flags.get("policy", "drop"));
@@ -116,7 +144,17 @@ int run(int argc, char** argv) {
     diagnostic.message = e.what();
     options_report.add(std::move(diagnostic));
   }
+  try {
+    fleet_options.router =
+        serve::parse_router(flags.get("router", "round-robin"));
+  } catch (const std::invalid_argument& e) {
+    verify::Diagnostic diagnostic;
+    diagnostic.rule = "fleet.options.router";
+    diagnostic.message = e.what();
+    options_report.add(std::move(diagnostic));
+  }
   verify::check_serve_options(serve_options, jobs, options_report);
+  verify::check_fleet_options(fleet_options, options_report);
   if (options_report.error_count() > 0) {
     std::fputs(options_report.to_text().c_str(), stderr);
     std::fprintf(stderr, "sealdl-serve: invalid serving configuration\n");
@@ -212,18 +250,51 @@ int run(int argc, char** argv) {
       std::printf("%s\n", line.c_str());
     };
   }
-  const serve::ServeReport report = serve::run_server(
-      model, serve_options, config, collect.get(), live_sink);
+  const serve::FleetReport fleet_report = serve::run_fleet(
+      model, serve_options, fleet_options, config, collect.get(), live_sink);
+  const serve::ServeReport& report = fleet_report.totals;
 
-  // Lifecycle reconciliation: the per-stage sums must equal the measured
-  // end-to-end latency sum (rule profile.serve.stages). A failure here is a
-  // scheduler accounting bug, not a configuration error.
+  if (!inject_fleet.empty()) {
+    // Self-test: corrupt one field of a healthy fleet report, then demand
+    // the matching fleet.* rule fires (same discipline as sealdl-sim
+    // --inject-profile and sealdl-check --inject).
+    serve::FleetReport corrupted = fleet_report;
+    const char* rule = nullptr;
+    if (inject_fleet == "requests") {
+      corrupted.device_reports.front().completed += 1;
+      rule = "fleet.requests";
+    } else if (inject_fleet == "batches") {
+      corrupted.device_reports.front().batches += 1;
+      rule = "fleet.batches";
+    } else if (inject_fleet == "stages") {
+      corrupted.totals.stage_cycles_sum =
+          corrupted.totals.stage_cycles_sum * 1.01 + 1.0;
+      rule = "fleet.stages";
+    } else {
+      corrupted.device_reports.front().device += 1;
+      rule = "fleet.devices";
+    }
+    const verify::Report check =
+        verify::run_fleet_report_check(fleet_options, corrupted);
+    if (check.fired(rule)) {
+      std::printf("injected fleet violation caught (%s)\n", rule);
+      return 0;
+    }
+    std::fprintf(stderr, "MISSED injected fleet violation (%s)\n", rule);
+    return 1;
+  }
+
+  // Post-run reconciliation. fleet.* proves the per-device decomposition
+  // sums back to the fleet totals; profile.serve.stages proves the
+  // per-request lifecycle stages sum to the measured latency. A failure in
+  // either is a scheduler accounting bug, not a configuration error.
   verify::Report stage_report;
   verify::check_serve_stage_totals(report.stage_cycles_sum,
                                    report.latency_cycles_sum, stage_report);
+  verify::check_fleet_report(fleet_options, fleet_report, stage_report);
   if (stage_report.error_count() > 0) {
     std::fputs(stage_report.to_text().c_str(), stderr);
-    std::fprintf(stderr, "sealdl-serve: lifecycle stages do not reconcile\n");
+    std::fprintf(stderr, "sealdl-serve: fleet accounting does not reconcile\n");
     return 1;
   }
 
@@ -232,6 +303,13 @@ int run(int argc, char** argv) {
               networks_csv.c_str(), scheme_name.c_str(), serve_options.rate_rps,
               serve_options.duration_s, serve_options.queue_depth,
               serve_options.max_batch, serve::policy_name(serve_options.policy));
+  if (fleet_options.devices > 1 || fleet_options.shard_stages > 1) {
+    std::printf("fleet: %d device(s) as %d pipeline(s) x %d stage(s), "
+                "router %s, microbatch %d\n",
+                fleet_report.devices, fleet_report.pipelines,
+                fleet_report.stages, serve::router_name(fleet_options.router),
+                fleet_options.microbatch);
+  }
   util::Table table({"metric", "value"});
   table.add_row({"generated", std::to_string(report.generated)});
   table.add_row({"completed", std::to_string(report.completed)});
@@ -264,6 +342,28 @@ int run(int argc, char** argv) {
   std::printf("\nstage latency (completed requests)\n");
   stages.print();
 
+  // Per-device decomposition: admission outcomes live on each pipeline's
+  // stage-0 device; stage runs and busy time on every device.
+  if (fleet_options.devices > 1 || fleet_options.shard_stages > 1) {
+    util::Table devices({"device", "pipe/stage", "routed", "completed",
+                         "dropped", "shed", "batches", "stage runs",
+                         "busy", "util"});
+    const double end = static_cast<double>(report.end_cycle);
+    for (const serve::DeviceReport& dev : fleet_report.device_reports) {
+      devices.add_row(
+          {"d" + std::to_string(dev.device),
+           "p" + std::to_string(dev.pipeline) + "/s" +
+               std::to_string(dev.stage),
+           std::to_string(dev.routed), std::to_string(dev.completed),
+           std::to_string(dev.dropped), std::to_string(dev.shed),
+           std::to_string(dev.batches), std::to_string(dev.stage_runs),
+           util::Table::fmt(dev.busy_cycles / 1e6, 2) + " Mcyc",
+           util::Table::pct(end > 0.0 ? dev.busy_cycles / end : 0.0)});
+    }
+    std::printf("\nper-device fleet decomposition\n");
+    devices.print();
+  }
+
   if (collect) {
     telemetry::RunInfo info;
     info.tool = "sealdl-serve";
@@ -295,6 +395,7 @@ int run(int argc, char** argv) {
         json.field("dispatch_cycles", span.dispatch_cycles);
         json.field("execute_cycles", span.execute_cycles);
         json.field("batch", span.batch);
+        if (span.device >= 0) json.field("device", span.device);
         json.end_object();
         ndjson += json.str();
         ndjson += '\n';
