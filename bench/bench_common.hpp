@@ -12,6 +12,7 @@
 
 #include "core/encryption_plan.hpp"
 #include "sim/gpu_config.hpp"
+#include "sim/scheme_registry.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
 #include "util/cli.hpp"
@@ -21,30 +22,55 @@
 
 namespace sealdl::bench {
 
-/// One bar group of the performance figures.
+/// One bar group of the performance figures. Rows are materialized from the
+/// shared scheme registry (sim/scheme_registry.hpp), so the benches sweep the
+/// same table the CLIs resolve --scheme against.
 struct SchemeConfig {
   std::string name;
   sim::EncryptionScheme scheme;
   bool selective;  ///< SEAL schemes encrypt only plan-marked ranges
+  const sim::SchemeInfo* info = nullptr;  ///< registry entry; null only for
+                                          ///< hand-built ablation rows
 };
+
+inline std::vector<SchemeConfig> schemes_from_registry(bool include_rivals) {
+  std::vector<SchemeConfig> out;
+  for (const sim::SchemeInfo& info : sim::scheme_registry()) {
+    if (!include_rivals && !info.paper) continue;
+    out.push_back({info.display, info.family, info.selective(), &info});
+  }
+  return out;
+}
 
 /// Baseline / Direct / Counter / SEAL-D / SEAL-C (paper §IV-A).
 inline std::vector<SchemeConfig> five_schemes() {
-  return {
-      {"Baseline", sim::EncryptionScheme::kNone, false},
-      {"Direct", sim::EncryptionScheme::kDirect, false},
-      {"Counter", sim::EncryptionScheme::kCounter, false},
-      {"SEAL-D", sim::EncryptionScheme::kDirect, true},
-      {"SEAL-C", sim::EncryptionScheme::kCounter, true},
-  };
+  return schemes_from_registry(/*include_rivals=*/false);
+}
+
+/// The paper's five schemes plus the registered rivals (Seculator, GuardNN).
+inline std::vector<SchemeConfig> all_schemes() {
+  return schemes_from_registry(/*include_rivals=*/true);
 }
 
 /// Applies one scheme to a GTX480 config.
 inline sim::GpuConfig configure(const SchemeConfig& scheme) {
   sim::GpuConfig config = sim::GpuConfig::gtx480();
-  config.scheme = scheme.scheme;
-  config.selective = scheme.selective;
+  if (scheme.info != nullptr) {
+    sim::apply_scheme(*scheme.info, config);
+  } else {
+    config.scheme = scheme.scheme;
+    config.selective = scheme.selective;
+  }
   return config;
+}
+
+/// Sets the run options a scheme needs: legacy selectivity plus the explicit
+/// protection scope (which is what makes GuardNN's weights-only boundary take
+/// effect in the runner).
+inline void apply_scheme_options(const SchemeConfig& scheme,
+                                 workload::RunOptions& options) {
+  options.selective = scheme.selective;
+  if (scheme.info != nullptr) options.scope = scheme.info->scope;
 }
 
 /// The paper's default SE plan: 50% ratio with the §III-B boundary policy.
@@ -91,7 +117,7 @@ inline workload::LayerResult run_body_layer(const models::LayerSpec& spec,
 
   workload::RunOptions options;
   options.max_tiles_per_layer = tiles;
-  options.selective = scheme.selective;
+  apply_scheme_options(scheme, options);
   options.plan = body_layer_plan(ratio);
   options.layer_filter = {0};
   options.telemetry = collect;
@@ -129,11 +155,17 @@ inline void write_bench_provenance(util::JsonWriter& json,
   telemetry::write_provenance_json(json, prov);
 }
 
+/// Scheme labels of a sweep, for provenance stamping.
+inline std::vector<std::string> scheme_names(
+    const std::vector<SchemeConfig>& schemes) {
+  std::vector<std::string> names;
+  for (const SchemeConfig& scheme : schemes) names.push_back(scheme.name);
+  return names;
+}
+
 /// Scheme labels of five_schemes(), for provenance stamping.
 inline std::vector<std::string> five_scheme_names() {
-  std::vector<std::string> names;
-  for (const SchemeConfig& scheme : five_schemes()) names.push_back(scheme.name);
-  return names;
+  return scheme_names(five_schemes());
 }
 
 /// Writes the sinks parsed by telemetry_from_flags(); no-op when `collect`

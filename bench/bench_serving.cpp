@@ -120,7 +120,9 @@ int main_impl(int argc, char** argv) {
                 "SEAL p=50% must land between Baseline and Direct");
 
   const std::vector<double> rates = {10.0, 40.0, 160.0};
-  const auto schemes = bench::five_schemes();
+  // All registered schemes: the paper's five (Baseline first, which the
+  // seal/capacity gates below index by position) plus the rivals.
+  const auto schemes = bench::all_schemes();
 
   serve::ServeOptions serve_options;
   serve_options.duration_s = duration;
@@ -151,7 +153,7 @@ int main_impl(int argc, char** argv) {
     const sim::GpuConfig config = bench::configure(scheme);
     workload::RunOptions options;
     options.max_tiles_per_layer = tiles;
-    options.selective = scheme.selective;
+    bench::apply_scheme_options(scheme, options);
     options.plan = bench::default_plan();
     options.plan.encryption_ratio = ratio;
 
@@ -250,7 +252,7 @@ int main_impl(int argc, char** argv) {
   json.field("max_batch", max_batch);
   json.field("policy", policy_name);
   bench::write_bench_provenance(json, bench::configure(schemes.front()), jobs,
-                                bench::five_scheme_names());
+                                bench::scheme_names(schemes));
   json.key("seal_check").begin_object();
   json.field("baseline_ms", base_ms);
   json.field("seal_d_ms", seal_ms);

@@ -19,7 +19,8 @@ int main_impl(int argc, char** argv) {
 
   bench::banner("Figure 7 — overall IPC normalized to Baseline",
                 "Direct/Counter reduce whole-inference IPC by 30-38%; SEAL-D "
-                "and SEAL-C improve over them by 1.4x and 1.34x");
+                "and SEAL-C improve over them by 1.4x and 1.34x (plus the "
+                "Seculator/GuardNN rivals for context)");
 
   const std::vector<std::pair<std::string, std::vector<models::LayerSpec>>> nets = {
       {"VGG-16", models::vgg16_specs(input)},
@@ -29,16 +30,16 @@ int main_impl(int argc, char** argv) {
 
   util::Table table({"scheme", "VGG-16", "ResNet-18", "ResNet-34"});
   std::vector<double> baseline(nets.size(), 0.0);
-  std::vector<std::vector<double>> normalized(bench::five_schemes().size());
+  std::vector<std::vector<double>> normalized(bench::all_schemes().size());
 
   auto collect = bench::telemetry_from_flags(flags);
-  const auto schemes = bench::five_schemes();
+  const auto schemes = bench::all_schemes();
   for (std::size_t s = 0; s < schemes.size(); ++s) {
     std::vector<std::string> row{schemes[s].name};
     for (std::size_t n = 0; n < nets.size(); ++n) {
       workload::RunOptions options;
       options.max_tiles_per_layer = tiles;
-      options.selective = schemes[s].selective;
+      bench::apply_scheme_options(schemes[s], options);
       options.plan = bench::default_plan();
       options.plan.encryption_ratio = ratio;
       options.telemetry = collect.get();

@@ -28,16 +28,16 @@ int main_impl(int argc, char** argv) {
 
   util::Table table({"scheme", "VGG-16", "ResNet-18", "ResNet-34", "ms @700MHz"});
   std::vector<double> baseline(nets.size(), 0.0);
-  std::vector<std::vector<double>> normalized(bench::five_schemes().size());
+  std::vector<std::vector<double>> normalized(bench::all_schemes().size());
 
-  const auto schemes = bench::five_schemes();
+  const auto schemes = bench::all_schemes();
   for (std::size_t s = 0; s < schemes.size(); ++s) {
     std::vector<std::string> row{schemes[s].name};
     double total_ms = 0.0;
     for (std::size_t n = 0; n < nets.size(); ++n) {
       workload::RunOptions options;
       options.max_tiles_per_layer = tiles;
-      options.selective = schemes[s].selective;
+      bench::apply_scheme_options(schemes[s], options);
       options.plan = bench::default_plan();
       options.plan.encryption_ratio = ratio;
       options.jobs = jobs;

@@ -23,6 +23,8 @@ enum class EncryptionScheme {
 /// Returns a short human-readable name ("Baseline", "Direct", "Counter").
 const char* scheme_name(EncryptionScheme scheme);
 
+class SchemeModel;
+
 struct GpuConfig {
   // --- compute ---
   int num_sms = 15;           ///< streaming multiprocessors
@@ -68,6 +70,11 @@ struct GpuConfig {
   /// When true, only addresses marked secure in the SecureMap are encrypted
   /// (SEAL); when false every address is treated as secure (full encryption).
   bool selective = false;
+  /// Resolved scheme model (sim/scheme_registry.hpp). Null means "derive from
+  /// `scheme`": the controller falls back to the family's canonical registry
+  /// entry, so enum-only configs keep working. Not part of the config hash —
+  /// the JSON report serializes the scheme by name, never by pointer.
+  const SchemeModel* scheme_model = nullptr;
 
   /// Per-channel achievable DRAM bandwidth in bytes per core cycle.
   [[nodiscard]] double dram_bytes_per_cycle_per_channel() const {

@@ -3,18 +3,21 @@
 #include <algorithm>
 
 #include "sim/bus_probe.hpp"
+#include "sim/scheme_registry.hpp"
 
 namespace sealdl::sim {
 
 MemoryController::MemoryController(const GpuConfig& config,
                                    const SecureMap* secure_map)
     : config_(config),
+      model_(config.scheme_model ? config.scheme_model
+                                 : default_scheme_for(config.scheme).model),
       secure_map_(secure_map),
       dram_(config.dram_bytes_per_cycle_per_channel(),
             static_cast<Cycle>(config.dram_latency)),
       aes_(config.aes_bytes_per_cycle(),
            static_cast<Cycle>(config.engine.latency_cycles)) {
-  if (config.scheme == EncryptionScheme::kCounter) {
+  if (model_->uses_counter_cache()) {
     counter_cache_.emplace(static_cast<std::size_t>(config.counter_cache_kb) * 1024,
                            config.counter_cache_assoc, config.line_bytes);
   }
@@ -31,24 +34,33 @@ Addr MemoryController::counter_line_addr(Addr data_addr) const {
   const Addr counter_index = data_addr / static_cast<Addr>(config_.line_bytes);
   const Addr byte_addr =
       kCounterRegionBase +
-      counter_index * static_cast<Addr>(config_.effective_counter_bytes());
+      counter_index * static_cast<Addr>(model_->counter_bytes_per_line(config_));
   return byte_addr & ~static_cast<Addr>(config_.line_bytes - 1);
+}
+
+Cycle MemoryController::dram_schedule(Cycle now, std::uint64_t bytes) {
+  return dram_.schedule(now, bytes);
+}
+
+Cycle MemoryController::aes_schedule(Cycle now, std::uint64_t bytes) {
+  return aes_.schedule(now, bytes);
 }
 
 Cycle MemoryController::fetch_counter(Cycle now, Addr addr, bool for_write) {
   const Addr cline = counter_line_addr(addr);
-  // Writes bump the per-line counter, dirtying its counter-cache line.
   const auto result = counter_cache_->access(cline, /*mark_dirty=*/for_write);
   if (result.hit) return now;  // counter available immediately from on-chip SRAM
 
   // Miss: fetch the counter block from DRAM through this same channel.
   const auto bytes = static_cast<std::uint64_t>(config_.line_bytes);
   counter_traffic_bytes_ += bytes;
+  counter_fill_bytes_ += bytes;
   const Cycle done = dram_.schedule(now, bytes);
   if (probe_) probe_->on_transfer(cline, static_cast<std::uint32_t>(bytes), false, false);
   const auto insert = counter_cache_->insert(cline, /*dirty=*/for_write);
   if (insert.writeback) {
     counter_traffic_bytes_ += bytes;
+    counter_writeback_bytes_ += bytes;
     dram_.schedule(done, bytes);
     if (probe_) {
       probe_->on_transfer(*insert.writeback, static_cast<std::uint32_t>(bytes), true, false);
@@ -70,24 +82,7 @@ Cycle MemoryController::read_line(Cycle now, Addr addr) {
   }
 
   encrypted_bytes_ += bytes;
-  switch (config_.scheme) {
-    case EncryptionScheme::kDirect: {
-      // Data must arrive before the (de)cipher can start.
-      const Cycle data_done = dram_.schedule(now, bytes);
-      return aes_.schedule(data_done, bytes);
-    }
-    case EncryptionScheme::kCounter: {
-      // Pad generation starts as soon as the counter is known and overlaps
-      // the data fetch; final XOR costs one cycle.
-      const Cycle data_done = dram_.schedule(now, bytes);
-      const Cycle counter_done = fetch_counter(now, addr, /*for_write=*/false);
-      const Cycle pad_done = aes_.schedule(counter_done, bytes);
-      return std::max(data_done, pad_done) + 1;
-    }
-    case EncryptionScheme::kNone:
-      break;
-  }
-  return dram_.schedule(now, bytes);
+  return model_->read_secure(*this, now, addr, bytes);
 }
 
 Cycle MemoryController::write_line(Cycle now, Addr addr) {
@@ -102,20 +97,7 @@ Cycle MemoryController::write_line(Cycle now, Addr addr) {
   }
 
   encrypted_bytes_ += bytes;
-  switch (config_.scheme) {
-    case EncryptionScheme::kDirect: {
-      const Cycle cipher_done = aes_.schedule(now, bytes);
-      return dram_.schedule(cipher_done, bytes);
-    }
-    case EncryptionScheme::kCounter: {
-      const Cycle counter_done = fetch_counter(now, addr, /*for_write=*/true);
-      const Cycle pad_done = aes_.schedule(counter_done, bytes);
-      return dram_.schedule(pad_done + 1, bytes);
-    }
-    case EncryptionScheme::kNone:
-      break;
-  }
-  return dram_.schedule(now, bytes);
+  return model_->write_secure(*this, now, addr, bytes);
 }
 
 void MemoryController::accumulate(SimStats& stats) const {
@@ -126,6 +108,9 @@ void MemoryController::accumulate(SimStats& stats) const {
   stats.aes_busy_cycles += aes_busy_cycles();  // engine-summed, per the field doc
   stats.dram_busy_cycles += dram_.busy_cycles();
   stats.counter_traffic_bytes += counter_traffic_bytes_;
+  stats.counter_fill_bytes += counter_fill_bytes_;
+  stats.counter_writeback_bytes += counter_writeback_bytes_;
+  stats.counter_flush_bytes += counter_flush_bytes_;
   if (counter_cache_) {
     stats.counter_hits += counter_cache_->hit_rate().hits;
     stats.counter_misses +=
@@ -139,6 +124,7 @@ Cycle MemoryController::flush(Cycle now) {
   Cycle drained = now;
   for (const Addr cline : counter_cache_->flush_dirty()) {
     counter_traffic_bytes_ += bytes;
+    counter_flush_bytes_ += bytes;
     drained = std::max(drained, dram_.schedule(now, bytes));
     if (probe_) probe_->on_transfer(cline, static_cast<std::uint32_t>(bytes), true, false);
   }

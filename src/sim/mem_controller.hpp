@@ -1,12 +1,16 @@
 // One GDDR5 channel's memory controller, with an optional in-line AES engine
-// and (for counter mode) an on-chip counter cache.
+// and (for counter-family schemes) an on-chip counter cache.
 //
 // Timing is modeled by resource reservation (see sim/pipes.hpp): the
 // controller books occupancy on its DRAM channel pipe and AES pipe and
 // reports the completion cycle of each read. Writes are posted — they consume
 // bandwidth but nobody waits for them.
 //
-// Encryption dataflow per 128 B line:
+// The *shape* of the secure dataflow — how a protected line's DRAM service,
+// AES work, and metadata fetch serialize — is not hard-wired here: it lives
+// in the SchemeModel resolved from the config (sim/scheme_registry.hpp), and
+// the controller implements SchemeModel::Host to lend the model its pipes
+// and counter cache. For the paper's schemes that means:
 //   Direct  read : DRAM -> AES decrypt (serial)      write: AES -> DRAM
 //   Counter read : DRAM || (counter fetch -> AES pad), XOR   write: same pads
 // On a counter-cache hit the pad generation overlaps the data fetch, so
@@ -23,6 +27,7 @@
 #include "sim/gpu_config.hpp"
 #include "sim/pipes.hpp"
 #include "sim/request.hpp"
+#include "sim/scheme_model.hpp"
 #include "sim/secure_map.hpp"
 #include "sim/sim_stats.hpp"
 
@@ -36,7 +41,7 @@ class BusProbe;
 /// by address alone.
 inline constexpr Addr kCounterRegionBase = 0x4000'0000'0000ULL;
 
-class MemoryController {
+class MemoryController : private SchemeModel::Host {
  public:
   MemoryController(const GpuConfig& config, const SecureMap* secure_map);
 
@@ -67,6 +72,10 @@ class MemoryController {
 
   void set_probe(BusProbe* probe) { probe_ = probe; }
 
+  /// The scheme model this controller resolved (explicit from the config, or
+  /// the family default). Never null.
+  [[nodiscard]] const SchemeModel& scheme_model() const { return *model_; }
+
   // Per-controller telemetry accessors (pull-based; nothing extra is tracked).
   [[nodiscard]] std::uint64_t read_bytes() const { return read_bytes_; }
   [[nodiscard]] std::uint64_t write_bytes() const { return write_bytes_; }
@@ -74,6 +83,17 @@ class MemoryController {
   [[nodiscard]] std::uint64_t bypassed_bytes() const { return bypassed_bytes_; }
   [[nodiscard]] std::uint64_t counter_traffic_bytes() const {
     return counter_traffic_bytes_;
+  }
+  // Metadata-traffic decomposition, reconciled by scheme.metadata:
+  //   counter_traffic == fills + writebacks + flushes, fills == misses x line.
+  [[nodiscard]] std::uint64_t counter_fill_bytes() const {
+    return counter_fill_bytes_;
+  }
+  [[nodiscard]] std::uint64_t counter_writeback_bytes() const {
+    return counter_writeback_bytes_;
+  }
+  [[nodiscard]] std::uint64_t counter_flush_bytes() const {
+    return counter_flush_bytes_;
   }
   [[nodiscard]] double dram_busy_cycles() const { return dram_.busy_cycles(); }
   /// AES occupancy summed over this controller's engines: the pipe models
@@ -103,14 +123,18 @@ class MemoryController {
   [[nodiscard]] Cycle counter_busy_until() const { return counter_busy_until_; }
 
  private:
-  /// Books the counter-fetch portion of a counter-mode access; returns the
+  // SchemeModel::Host — the services a scheme model schedules against.
+  Cycle dram_schedule(Cycle now, std::uint64_t bytes) override;
+  Cycle aes_schedule(Cycle now, std::uint64_t bytes) override;
+  /// Books the counter-fetch portion of a counter-family access; returns the
   /// cycle the counter value is available. May inject counter-line DRAM
   /// traffic (fill and/or dirty writeback).
-  Cycle fetch_counter(Cycle now, Addr addr, bool for_write);
+  Cycle fetch_counter(Cycle now, Addr addr, bool for_write) override;
 
   [[nodiscard]] Addr counter_line_addr(Addr data_addr) const;
 
   GpuConfig config_;  ///< by value: controllers outlive caller-built configs
+  const SchemeModel* model_;     ///< resolved scheme model, never null
   const SecureMap* secure_map_;  ///< may be null => everything secure
   ThroughputPipe dram_;
   ThroughputPipe aes_;
@@ -122,6 +146,9 @@ class MemoryController {
   std::uint64_t encrypted_bytes_ = 0;
   std::uint64_t bypassed_bytes_ = 0;
   std::uint64_t counter_traffic_bytes_ = 0;
+  std::uint64_t counter_fill_bytes_ = 0;
+  std::uint64_t counter_writeback_bytes_ = 0;
+  std::uint64_t counter_flush_bytes_ = 0;
   Cycle counter_busy_until_ = 0;
 };
 

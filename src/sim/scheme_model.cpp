@@ -1,0 +1,25 @@
+#include "sim/scheme_model.hpp"
+
+#include "sim/gpu_config.hpp"
+
+namespace sealdl::sim {
+
+const char* protection_scope_name(ProtectionScope scope) {
+  switch (scope) {
+    case ProtectionScope::kNone:
+      return "none";
+    case ProtectionScope::kAll:
+      return "all";
+    case ProtectionScope::kPlanRows:
+      return "plan-rows";
+    case ProtectionScope::kWeights:
+      return "weights";
+  }
+  return "?";
+}
+
+int SchemeModel::counter_bytes_per_line(const GpuConfig& /*config*/) const {
+  return 0;
+}
+
+}  // namespace sealdl::sim

@@ -32,6 +32,13 @@ struct SimStats {
   std::uint64_t counter_hits = 0;
   std::uint64_t counter_misses = 0;
   std::uint64_t counter_traffic_bytes = 0;  ///< counter-block reads + writebacks
+  // Decomposition of counter_traffic_bytes, reconciled by scheme.metadata:
+  //   traffic == fills + writebacks + flushes, fills == misses x line_bytes.
+  // Internal accounting only — deliberately absent from the JSON run report,
+  // whose byte layout is pinned by the scheme-golden gate.
+  std::uint64_t counter_fill_bytes = 0;       ///< miss-driven counter-line reads
+  std::uint64_t counter_writeback_bytes = 0;  ///< eviction-driven dirty writebacks
+  std::uint64_t counter_flush_bytes = 0;      ///< end-of-run dirty-line drains
 
   /// Accumulates another run's stats into this one. Used when a layer is
   /// simulated as a sequence of tile-chunk waves: every field — cycles
@@ -52,6 +59,9 @@ struct SimStats {
     counter_hits += other.counter_hits;
     counter_misses += other.counter_misses;
     counter_traffic_bytes += other.counter_traffic_bytes;
+    counter_fill_bytes += other.counter_fill_bytes;
+    counter_writeback_bytes += other.counter_writeback_bytes;
+    counter_flush_bytes += other.counter_flush_bytes;
   }
 
   [[nodiscard]] double ipc() const {

@@ -1,0 +1,570 @@
+#include "verify/scheme_checkers.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string_view>
+
+#include "crypto/modes.hpp"
+#include "sim/mem_controller.hpp"
+#include "verify/secure_checkers.hpp"
+
+namespace sealdl::verify {
+
+namespace {
+
+constexpr std::uint64_t kLine = crypto::kLineBytes;
+
+std::uint64_t dir_sum(const TaintCounts& counts, TaintClass cls) {
+  const auto i = static_cast<std::size_t>(cls);
+  return counts.read[i] + counts.write[i];
+}
+
+std::uint64_t plain_bytes(const TaintCounts& counts) {
+  return dir_sum(counts, TaintClass::kWeightPlain) +
+         dir_sum(counts, TaintClass::kFmapPlain);
+}
+
+std::uint64_t cipher_bytes(const TaintCounts& counts) {
+  return dir_sum(counts, TaintClass::kWeightCipher) +
+         dir_sum(counts, TaintClass::kFmapCipher);
+}
+
+/// The contract's wire policy for one data line. nullopt = the contract does
+/// not constrain this line (e.g. an untagged address).
+std::optional<WirePolicy> wire_policy(const sim::SchemeContract& contract,
+                                      const AnalysisInput& input,
+                                      const Region& region,
+                                      sim::Addr line_addr) {
+  switch (contract.wire) {
+    case sim::WireVisibility::kFullPlain:
+      return WirePolicy::kMustPlain;
+    case sim::WireVisibility::kFullCipher:
+      return WirePolicy::kMustCipher;
+    case sim::WireVisibility::kPlanBoundary:
+      return plan_line_policy(input, region, line_addr);
+    case sim::WireVisibility::kWeightsCipher:
+      return region.kind == Region::Kind::kWeights ? WirePolicy::kMustCipher
+                                                   : WirePolicy::kMustPlain;
+  }
+  return std::nullopt;
+}
+
+void add_error(Report& report, const char* rule, const std::string& layer,
+               sim::Addr begin, sim::Addr end, std::string message) {
+  report.add({.rule = rule,
+              .severity = Severity::kError,
+              .layer = layer,
+              .begin = begin,
+              .end = end,
+              .message = std::move(message)});
+}
+
+/// Latency of a line read issued at `now` on a fresh controller configured
+/// for `entry` (selective off, so the probe address is in-scope for every
+/// non-baseline scheme).
+struct TimingProbe {
+  sim::MemoryController controller;
+
+  explicit TimingProbe(const sim::SchemeInfo& entry)
+      : controller(probe_config(entry), nullptr) {}
+
+  static sim::GpuConfig probe_config(const sim::SchemeInfo& entry) {
+    sim::GpuConfig config = sim::GpuConfig::gtx480();
+    apply_scheme(entry, config);
+    config.selective = false;  // the probe address must hit the secure path
+    return config;
+  }
+
+  sim::Cycle read_latency(sim::Cycle now, sim::Addr addr) {
+    return controller.read_line(now, addr) - now;
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> scheme_rules() {
+  return {"scheme.registry", "scheme.wire",     "scheme.boundary",
+          "scheme.metadata", "scheme.coverage", "scheme.timing"};
+}
+
+void check_scheme_registry(std::span<const sim::SchemeInfo> entries,
+                           Report& report) {
+  std::set<std::string_view> cli_names;
+  std::set<std::string_view> displays;
+  for (const sim::SchemeInfo& info : entries) {
+    const std::string name = info.cli_name;
+    if (!cli_names.insert(info.cli_name).second) {
+      add_error(report, "scheme.registry", name, 0, 0,
+                "duplicate CLI name '" + name + "' in the scheme registry");
+    }
+    if (!displays.insert(info.display).second) {
+      add_error(report, "scheme.registry", name, 0, 0,
+                "duplicate display name '" + std::string(info.display) +
+                    "' in the scheme registry");
+    }
+    if (info.model == nullptr) {
+      add_error(report, "scheme.registry", name, 0, 0,
+                "registry entry '" + name + "' has no scheme model");
+      continue;
+    }
+    const sim::SchemeContract& contract = info.model->contract();
+    if (contract.scope != info.scope) {
+      add_error(report, "scheme.registry", name, 0, 0,
+                "entry '" + name + "' scope (" +
+                    sim::protection_scope_name(info.scope) +
+                    ") disagrees with its contract (" +
+                    sim::protection_scope_name(contract.scope) + ")");
+    }
+    if ((info.family == sim::EncryptionScheme::kNone) !=
+        (info.scope == sim::ProtectionScope::kNone)) {
+      add_error(report, "scheme.registry", name, 0, 0,
+                "entry '" + name +
+                    "' protects nothing iff its family is kNone — family and "
+                    "scope disagree");
+    }
+    const bool has_counters = info.model->uses_counter_cache();
+    if (has_counters !=
+        (contract.metadata == sim::MetadataModel::kCounterLines)) {
+      add_error(report, "scheme.registry", name, 0, 0,
+                "entry '" + name +
+                    "' declares counter-line metadata iff it uses a counter "
+                    "cache — model and contract disagree");
+    }
+    const sim::GpuConfig config = sim::GpuConfig::gtx480();
+    const int counter_bytes = info.model->counter_bytes_per_line(config);
+    if (has_counters ? counter_bytes <= 0 : counter_bytes != 0) {
+      add_error(report, "scheme.registry", name, 0, 0,
+                "entry '" + name + "' counter layout (" +
+                    std::to_string(counter_bytes) +
+                    " bytes/line) is inconsistent with its counter-cache "
+                    "use");
+    }
+    if (contract.pays_aes_occupancy ==
+        (info.family == sim::EncryptionScheme::kNone)) {
+      add_error(report, "scheme.registry", name, 0, 0,
+                "entry '" + name +
+                    "' pays AES occupancy iff it encrypts — contract and "
+                    "family disagree");
+    }
+    if ((contract.read_shape == sim::SerializationShape::kPadOverlapsData) !=
+        has_counters) {
+      add_error(report, "scheme.registry", name, 0, 0,
+                "entry '" + name +
+                    "' declares pad-overlap serialization iff it has "
+                    "counters to overlap with");
+    }
+    // Name round-trip through the shared parser: both spellings must resolve
+    // back to an entry carrying this CLI name (drift check for the
+    // name<->enum<->CLI collapse).
+    for (const char* spelling : {info.cli_name, info.display}) {
+      const sim::SchemeInfo* found = sim::find_scheme(spelling);
+      if (found == nullptr ||
+          std::string_view(found->cli_name) != info.cli_name) {
+        add_error(report, "scheme.registry", name, 0, 0,
+                  "spelling '" + std::string(spelling) +
+                      "' does not resolve back to entry '" + name + "'");
+      }
+    }
+  }
+}
+
+void check_scheme_timing(const sim::SchemeInfo& entry,
+                         const sim::SchemeContract& claimed, Report& report) {
+  const std::string name = entry.cli_name;
+  constexpr sim::Addr kAddr = 0x1000'0000;
+  // Quiet-time reference: a late enough issue cycle that every pipe is idle
+  // again, so latencies are pure (no occupancy queueing from earlier probes).
+  constexpr sim::Cycle kQuiet = 1'000'000;
+
+  TimingProbe baseline(sim::default_scheme_for(sim::EncryptionScheme::kNone));
+  const sim::Cycle plain = baseline.read_latency(0, kAddr);
+
+  TimingProbe probe(entry);
+  const sim::Cycle cold = probe.read_latency(0, kAddr);
+  // Second read of the same line at quiet time: for counter-family schemes
+  // the counter is now cached, so this is the steady-state (hit) latency.
+  const sim::Cycle warm = probe.read_latency(kQuiet, kAddr);
+
+  switch (claimed.read_shape) {
+    case sim::SerializationShape::kPassthrough:
+      if (cold != plain || warm != plain) {
+        add_error(report, "scheme.timing", name, 0, 0,
+                  "contract claims passthrough reads but a secure read took " +
+                      std::to_string(cold) + "/" + std::to_string(warm) +
+                      " cycles vs " + std::to_string(plain) + " plain");
+      }
+      break;
+    case sim::SerializationShape::kAesAfterData:
+      // Serialized crypto can never match the plain latency — cold or warm.
+      if (cold <= plain || warm <= plain) {
+        add_error(report, "scheme.timing", name, 0, 0,
+                  "contract claims AES-after-data serialization but a secure "
+                  "read took " +
+                      std::to_string(cold) + "/" + std::to_string(warm) +
+                      " cycles vs " + std::to_string(plain) +
+                      " plain — the cipher is not on the critical path");
+      }
+      break;
+    case sim::SerializationShape::kPadOverlapsData:
+      // On a counter hit the pad hides behind the data fetch entirely; only
+      // the final XOR remains visible. A cold miss must cost more than that.
+      if (warm != plain + 1) {
+        add_error(report, "scheme.timing", name, 0, 0,
+                  "contract claims pad generation overlaps the data fetch on "
+                  "a counter hit, but a warm read took " +
+                      std::to_string(warm) + " cycles vs " +
+                      std::to_string(plain) + " plain (+1 XOR expected)");
+      }
+      if (cold <= warm) {
+        add_error(report, "scheme.timing", name, 0, 0,
+                  "contract claims the pad overlap is hidden only on a "
+                  "counter hit, but a cold (miss) read took " +
+                      std::to_string(cold) + " cycles vs " +
+                      std::to_string(warm) + " warm");
+      }
+      break;
+  }
+}
+
+void check_scheme_wire(const sim::SchemeInfo& entry,
+                       const SchemeRunEvidence& evidence, Report& report) {
+  const AnalysisInput& input = *evidence.input;
+  const sim::SchemeContract& contract = entry.model->contract();
+  for (const auto& [addr, counts] : evidence.ledger->lines()) {
+    if (addr >= sim::kCounterRegionBase) continue;
+    const Region* region = input.region_at(addr);
+    if (region == nullptr) continue;  // untagged: secure.leak's warning
+    const auto policy = wire_policy(contract, input, *region, addr);
+    if (!policy) continue;
+    const std::uint64_t plain = plain_bytes(counts);
+    const std::uint64_t cipher = cipher_bytes(counts);
+    if (*policy == WirePolicy::kMustCipher && plain > 0) {
+      add_error(report, "scheme.wire", region->name, addr, addr + kLine,
+                std::to_string(plain) + " plaintext byte(s) of " +
+                    region->name + " on the bus, but " + entry.cli_name +
+                    "'s contract requires ciphertext here");
+    }
+    if (*policy == WirePolicy::kMustPlain && cipher > 0) {
+      add_error(report, "scheme.wire", region->name, addr, addr + kLine,
+                std::to_string(cipher) + " ciphertext byte(s) of " +
+                    region->name + " on the bus, but " + entry.cli_name +
+                    "'s contract leaves this address unprotected");
+    }
+  }
+}
+
+void check_scheme_boundary(const sim::SchemeInfo& entry,
+                           const SchemeRunEvidence& evidence, Report& report) {
+  const AnalysisInput& input = *evidence.input;
+  const sim::ProtectionScope scope = entry.model->contract().scope;
+  const auto wp = static_cast<std::size_t>(TaintClass::kWeightPlain);
+  const auto wc = static_cast<std::size_t>(TaintClass::kWeightCipher);
+  const auto& lines = evidence.ledger->lines();
+  for (const Region& region : input.regions) {
+    if (region.kind != Region::Kind::kWeights || region.units <= 0) continue;
+    std::vector<std::uint8_t> seen_plain(static_cast<std::size_t>(region.units), 0);
+    std::vector<std::uint8_t> seen_cipher(static_cast<std::size_t>(region.units), 0);
+    for (auto it = lines.lower_bound(region.begin);
+         it != lines.end() && it->first < region.end; ++it) {
+      const auto row =
+          static_cast<std::size_t>((it->first - region.begin) / region.pitch);
+      if (row >= seen_plain.size()) continue;
+      if (it->second.read[wp] + it->second.write[wp] > 0) seen_plain[row] = 1;
+      if (it->second.read[wc] + it->second.write[wc] > 0) seen_cipher[row] = 1;
+    }
+    for (int r = 0; r < region.units; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      bool protected_row = false;
+      switch (scope) {
+        case sim::ProtectionScope::kNone:
+          protected_row = false;
+          break;
+        case sim::ProtectionScope::kAll:
+        case sim::ProtectionScope::kWeights:
+          protected_row = true;
+          break;
+        case sim::ProtectionScope::kPlanRows: {
+          if (!input.plan) continue;
+          const int lp_idx = input.plan_index[region.spec_index];
+          if (lp_idx < 0) continue;
+          protected_row = input.plan->row_protected(
+              static_cast<std::size_t>(lp_idx), r);
+          break;
+        }
+      }
+      const sim::Addr row_begin =
+          region.begin + static_cast<std::uint64_t>(r) * region.pitch;
+      if (protected_row && seen_plain[ri]) {
+        add_error(report, "scheme.boundary", region.name, row_begin,
+                  row_begin + region.pitch,
+                  "row " + std::to_string(r) + " of " + region.name +
+                      " is inside " + entry.cli_name +
+                      "'s protection boundary (" +
+                      sim::protection_scope_name(scope) +
+                      ") but crossed the bus as plaintext");
+      } else if (!protected_row && seen_cipher[ri] && !seen_plain[ri]) {
+        add_error(report, "scheme.boundary", region.name, row_begin,
+                  row_begin + region.pitch,
+                  "row " + std::to_string(r) + " of " + region.name +
+                      " is outside " + entry.cli_name +
+                      "'s protection boundary but crossed the bus only as "
+                      "ciphertext — the boundary grew");
+      }
+    }
+  }
+}
+
+void check_scheme_metadata(const sim::SchemeInfo& entry,
+                           const SchemeRunEvidence& evidence, Report& report) {
+  const sim::SimStats& stats = evidence.stats;
+  const std::string name = entry.cli_name;
+  const std::uint64_t ledger_meta =
+      evidence.ledger->class_bytes(TaintClass::kCounterMeta);
+  if (entry.model->contract().metadata == sim::MetadataModel::kNone) {
+    if (stats.counter_traffic_bytes != 0 || stats.counter_hits != 0 ||
+        stats.counter_misses != 0 || ledger_meta != 0) {
+      add_error(report, "scheme.metadata", name, 0, 0,
+                "counter metadata under a scheme declaring none (controller " +
+                    std::to_string(stats.counter_traffic_bytes) +
+                    " B, ledger " + std::to_string(ledger_meta) + " B, " +
+                    std::to_string(stats.counter_hits + stats.counter_misses) +
+                    " cache lookups)");
+    }
+    return;
+  }
+  const std::uint64_t decomposed = stats.counter_fill_bytes +
+                                   stats.counter_writeback_bytes +
+                                   stats.counter_flush_bytes;
+  if (stats.counter_traffic_bytes != decomposed) {
+    add_error(report, "scheme.metadata", name, 0, 0,
+              "metadata traffic (" +
+                  std::to_string(stats.counter_traffic_bytes) +
+                  " B) != fills + writebacks + flushes (" +
+                  std::to_string(stats.counter_fill_bytes) + " + " +
+                  std::to_string(stats.counter_writeback_bytes) + " + " +
+                  std::to_string(stats.counter_flush_bytes) + " B)");
+  }
+  const std::uint64_t expected_fills =
+      stats.counter_misses * static_cast<std::uint64_t>(evidence.config.line_bytes);
+  if (stats.counter_fill_bytes != expected_fills) {
+    add_error(report, "scheme.metadata", name, 0, 0,
+              "counter fills (" + std::to_string(stats.counter_fill_bytes) +
+                  " B) != misses x line bytes (" +
+                  std::to_string(stats.counter_misses) + " x " +
+                  std::to_string(evidence.config.line_bytes) + ")");
+  }
+  if (ledger_meta != stats.counter_traffic_bytes) {
+    add_error(report, "scheme.metadata", name, 0, 0,
+              "counter-region bytes on the bus (" +
+                  std::to_string(ledger_meta) +
+                  ") do not reconcile with the controllers' metadata "
+                  "accounting (" +
+                  std::to_string(stats.counter_traffic_bytes) + ")");
+  }
+}
+
+void check_scheme_coverage(const sim::SchemeInfo& entry,
+                           const SchemeRunEvidence& evidence, Report& report) {
+  const sim::SimStats& stats = evidence.stats;
+  const sim::SchemeContract& contract = entry.model->contract();
+  const std::string name = entry.cli_name;
+  const std::uint64_t data = stats.dram_read_bytes + stats.dram_write_bytes;
+  switch (contract.scope) {
+    case sim::ProtectionScope::kNone:
+      if (stats.encrypted_bytes != 0 || stats.bypassed_bytes != 0) {
+        add_error(report, "scheme.coverage", name, 0, 0,
+                  "baseline scope with nonzero secure-path accounting (" +
+                      std::to_string(stats.encrypted_bytes) + " encrypted, " +
+                      std::to_string(stats.bypassed_bytes) + " bypassed)");
+      }
+      break;
+    case sim::ProtectionScope::kAll:
+      if (stats.bypassed_bytes != 0 || stats.encrypted_bytes != data) {
+        add_error(report, "scheme.coverage", name, 0, 0,
+                  "full-coverage scope must encrypt every data byte (" +
+                      std::to_string(stats.encrypted_bytes) + " encrypted + " +
+                      std::to_string(stats.bypassed_bytes) + " bypassed of " +
+                      std::to_string(data) + ")");
+      }
+      break;
+    case sim::ProtectionScope::kPlanRows:
+    case sim::ProtectionScope::kWeights:
+      if (stats.encrypted_bytes + stats.bypassed_bytes != data) {
+        add_error(report, "scheme.coverage", name, 0, 0,
+                  "selective scope must partition data traffic (" +
+                      std::to_string(stats.encrypted_bytes) + " encrypted + " +
+                      std::to_string(stats.bypassed_bytes) +
+                      " bypassed != " + std::to_string(data) + ")");
+      }
+      break;
+  }
+  if (contract.pays_aes_occupancy) {
+    if (stats.encrypted_bytes > 0 && stats.aes_busy_cycles <= 0.0) {
+      add_error(report, "scheme.coverage", name, 0, 0,
+                std::to_string(stats.encrypted_bytes) +
+                    " encrypted byte(s) booked zero AES occupancy — the "
+                    "contract says every encrypted byte pays");
+    }
+  } else if (stats.aes_busy_cycles != 0.0) {
+    add_error(report, "scheme.coverage", name, 0, 0,
+              "AES occupancy (" + std::to_string(stats.aes_busy_cycles) +
+                  " engine-cycles) under a scheme declaring none");
+  }
+}
+
+Report run_scheme_conformance(const sim::SchemeInfo& entry,
+                              const SchemeRunEvidence& evidence) {
+  Report report;
+  check_scheme_registry(sim::scheme_registry(), report);
+  check_scheme_timing(entry, entry.model->contract(), report);
+  check_scheme_wire(entry, evidence, report);
+  check_scheme_boundary(entry, evidence, report);
+  check_scheme_metadata(entry, evidence, report);
+  check_scheme_coverage(entry, evidence, report);
+  return report;
+}
+
+const std::vector<SchemeInjection>& all_scheme_injections() {
+  static const std::vector<SchemeInjection> kAll = {
+      SchemeInjection::kWire,     SchemeInjection::kBoundary,
+      SchemeInjection::kMetadata, SchemeInjection::kCoverage,
+      SchemeInjection::kTiming,   SchemeInjection::kRegistry,
+  };
+  return kAll;
+}
+
+const char* scheme_injection_name(SchemeInjection injection) {
+  switch (injection) {
+    case SchemeInjection::kWire: return "scheme-wire";
+    case SchemeInjection::kBoundary: return "scheme-boundary";
+    case SchemeInjection::kMetadata: return "scheme-metadata";
+    case SchemeInjection::kCoverage: return "scheme-coverage";
+    case SchemeInjection::kTiming: return "scheme-timing";
+    case SchemeInjection::kRegistry: return "scheme-registry";
+  }
+  return "?";
+}
+
+std::optional<SchemeInjection> scheme_injection_from_name(
+    const std::string& name) {
+  for (const SchemeInjection injection : all_scheme_injections()) {
+    if (name == scheme_injection_name(injection)) return injection;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> scheme_injection_expected_rules(
+    SchemeInjection injection) {
+  switch (injection) {
+    case SchemeInjection::kWire: return {"scheme.wire"};
+    case SchemeInjection::kBoundary: return {"scheme.boundary"};
+    case SchemeInjection::kMetadata: return {"scheme.metadata"};
+    case SchemeInjection::kCoverage: return {"scheme.coverage"};
+    case SchemeInjection::kTiming: return {"scheme.timing"};
+    case SchemeInjection::kRegistry: return {"scheme.registry"};
+  }
+  return {};
+}
+
+Report run_scheme_injection(SchemeInjection injection,
+                            const sim::SchemeInfo& entry,
+                            const SchemeRunEvidence& evidence) {
+  Report report;
+  const AnalysisInput& input = *evidence.input;
+  switch (injection) {
+    case SchemeInjection::kWire: {
+      // Record plaintext bytes on the first line the contract requires to be
+      // ciphertext; only copies are touched, never the run's real ledger.
+      TaintLedger corrupted = *evidence.ledger;
+      const sim::SchemeContract& contract = entry.model->contract();
+      for (const Region& region : input.regions) {
+        const auto policy = wire_policy(contract, input, region, region.begin);
+        if (policy == WirePolicy::kMustCipher) {
+          corrupted.record(region.begin, static_cast<std::uint32_t>(kLine),
+                           /*is_write=*/false,
+                           region.kind == Region::Kind::kWeights
+                               ? TaintClass::kWeightPlain
+                               : TaintClass::kFmapPlain);
+          break;
+        }
+      }
+      SchemeRunEvidence doctored = evidence;
+      doctored.ledger = &corrupted;
+      check_scheme_wire(entry, doctored, report);
+      return report;
+    }
+    case SchemeInjection::kBoundary: {
+      // Plaintext inside a protected weight row: find one under the scope.
+      TaintLedger corrupted = *evidence.ledger;
+      const sim::ProtectionScope scope = entry.model->contract().scope;
+      for (const Region& region : input.regions) {
+        if (region.kind != Region::Kind::kWeights || region.units <= 0) continue;
+        int row = -1;
+        if (scope == sim::ProtectionScope::kAll ||
+            scope == sim::ProtectionScope::kWeights) {
+          row = 0;
+        } else if (scope == sim::ProtectionScope::kPlanRows && input.plan) {
+          const int lp_idx = input.plan_index[region.spec_index];
+          if (lp_idx < 0) continue;
+          for (int r = 0; r < region.units; ++r) {
+            if (input.plan->row_protected(static_cast<std::size_t>(lp_idx), r)) {
+              row = r;
+              break;
+            }
+          }
+        }
+        if (row < 0) continue;
+        corrupted.record(
+            region.begin + static_cast<std::uint64_t>(row) * region.pitch,
+            static_cast<std::uint32_t>(kLine), /*is_write=*/false,
+            TaintClass::kWeightPlain);
+        break;
+      }
+      SchemeRunEvidence doctored = evidence;
+      doctored.ledger = &corrupted;
+      check_scheme_boundary(entry, doctored, report);
+      return report;
+    }
+    case SchemeInjection::kMetadata: {
+      // One phantom counter line the bus probe never saw: breaks the
+      // fills/writebacks/flushes decomposition for counter schemes, and the
+      // zero-metadata clause for everything else.
+      SchemeRunEvidence doctored = evidence;
+      doctored.stats.counter_traffic_bytes +=
+          static_cast<std::uint64_t>(evidence.config.line_bytes);
+      check_scheme_metadata(entry, doctored, report);
+      return report;
+    }
+    case SchemeInjection::kCoverage: {
+      // One claimed-encrypted byte no controller accounted for.
+      SchemeRunEvidence doctored = evidence;
+      doctored.stats.encrypted_bytes += 1;
+      check_scheme_coverage(entry, doctored, report);
+      return report;
+    }
+    case SchemeInjection::kTiming: {
+      // Falsify the declared serialization shape: claim passthrough for a
+      // crypto scheme, claim serialized AES for baseline.
+      sim::SchemeContract falsified = entry.model->contract();
+      falsified.read_shape =
+          falsified.read_shape == sim::SerializationShape::kPassthrough
+              ? sim::SerializationShape::kAesAfterData
+              : sim::SerializationShape::kPassthrough;
+      check_scheme_timing(entry, falsified, report);
+      return report;
+    }
+    case SchemeInjection::kRegistry: {
+      // Duplicate the first entry's CLI name onto the second in a copy of
+      // the table.
+      const auto real = sim::scheme_registry();
+      std::vector<sim::SchemeInfo> corrupted(real.begin(), real.end());
+      if (corrupted.size() >= 2) corrupted[1].cli_name = corrupted[0].cli_name;
+      check_scheme_registry(corrupted, report);
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace sealdl::verify

@@ -1,0 +1,131 @@
+// The scheme.* rule family: conformance of any registered secure-memory
+// scheme against its own declared SchemeContract (sim/scheme_model.hpp).
+//
+// Where the secure.* family hand-encodes the paper's five schemes, scheme.*
+// is generic: every clause is read off the contract of a registry entry and
+// proved against the evidence of a real run — the taint ledger a
+// TaintAuditor recorded, the controllers' SimStats accounting, and a timing
+// micro-probe through a real MemoryController. A scheme added to the
+// registry is covered with no checker changes, and a scheme whose contract
+// lies about its dataflow is caught.
+//
+//   scheme.registry  static table consistency: unique CLI/display names,
+//                    scope <-> selective <-> contract agreement, counter
+//                    metadata declared iff a counter cache is used.
+//   scheme.wire      ledger bytes respect the contract's WireVisibility
+//                    (plan-boundary schemes share plan_line_policy with
+//                    secure.leak; weights-cipher schemes split by region
+//                    kind; full schemes admit no wrong-side bytes at all).
+//   scheme.boundary  row-level protection boundary over weight regions:
+//                    the observed plaintext/ciphertext row sets match the
+//                    scope (plan rows / all / none / every weight row).
+//   scheme.metadata  metadata-traffic reconciliation: counter_traffic ==
+//                    fills + writebacks + flushes, fills == misses x line,
+//                    ledger counter-region bytes == controller accounting —
+//                    and all of it zero for schemes declaring kNone.
+//   scheme.coverage  SimStats identities: encrypted + bypassed bytes
+//                    partition the secure-capable traffic per scope, and AES
+//                    occupancy is paid iff the contract says so.
+//   scheme.timing    serialization-shape micro-probe: a fresh controller per
+//                    entry measures a secure line read against the plain
+//                    baseline (passthrough = equal; AES-after-data strictly
+//                    slower; pad-overlap hides AES behind DRAM on a counter
+//                    hit, +1 XOR cycle).
+//
+// Every rule has a seeded --inject-scheme violation (sealdl-sim), following
+// the established inject-ledger discipline: a checker that never fires is
+// indistinguishable from one that checks nothing.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/gpu_config.hpp"
+#include "sim/scheme_registry.hpp"
+#include "sim/sim_stats.hpp"
+#include "verify/analysis.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/taint.hpp"
+
+namespace sealdl::verify {
+
+/// Rule ids of the scheme.* family (for --list-rules and the catalog test).
+[[nodiscard]] std::vector<std::string> scheme_rules();
+
+/// Post-run evidence one conformance pass consumes: the analyzer model of
+/// the audited network, the run's taint ledger, and the summed SimStats of
+/// every layer (carrying the controllers' metadata decomposition).
+struct SchemeRunEvidence {
+  const AnalysisInput* input = nullptr;  ///< regions + plan (borrowed)
+  const TaintLedger* ledger = nullptr;   ///< run traffic (borrowed)
+  sim::SimStats stats;                   ///< summed over the run's layers
+  sim::GpuConfig config;                 ///< the config that ran
+};
+
+// --- static rules -----------------------------------------------------------
+
+/// Validates a registry table (normally sim::scheme_registry(); injections
+/// pass a corrupted copy).
+void check_scheme_registry(std::span<const sim::SchemeInfo> entries,
+                           Report& report);
+
+/// Micro-probes `entry`'s secure read path through a fresh MemoryController
+/// and holds the measured serialization against `claimed.read_shape`
+/// (normally the entry's own contract; injections pass a falsified one).
+void check_scheme_timing(const sim::SchemeInfo& entry,
+                         const sim::SchemeContract& claimed, Report& report);
+
+// --- post-run rules ---------------------------------------------------------
+
+void check_scheme_wire(const sim::SchemeInfo& entry,
+                       const SchemeRunEvidence& evidence, Report& report);
+void check_scheme_boundary(const sim::SchemeInfo& entry,
+                           const SchemeRunEvidence& evidence, Report& report);
+void check_scheme_metadata(const sim::SchemeInfo& entry,
+                           const SchemeRunEvidence& evidence, Report& report);
+void check_scheme_coverage(const sim::SchemeInfo& entry,
+                           const SchemeRunEvidence& evidence, Report& report);
+
+/// Runs every scheme.* rule for one registered scheme over one run's
+/// evidence: the registry and timing statics plus all four post-run clauses.
+[[nodiscard]] Report run_scheme_conformance(const sim::SchemeInfo& entry,
+                                            const SchemeRunEvidence& evidence);
+
+// --- seeded violations (--inject-scheme) ------------------------------------
+
+enum class SchemeInjection {
+  kWire,      ///< record plaintext bytes on a must-cipher line
+  kBoundary,  ///< record plaintext bytes inside a protected weight row
+  kMetadata,  ///< perturb the controllers' counter-traffic accounting
+  kCoverage,  ///< claim one encrypted byte the controllers never saw
+  kTiming,    ///< falsify the contract's declared serialization shape
+  kRegistry,  ///< duplicate a CLI name in a copy of the registry table
+};
+
+/// All scheme injections, in declaration order.
+[[nodiscard]] const std::vector<SchemeInjection>& all_scheme_injections();
+
+/// CLI name of an injection, e.g. "scheme-wire".
+[[nodiscard]] const char* scheme_injection_name(SchemeInjection injection);
+
+/// Parses a CLI name; nullopt if unknown.
+[[nodiscard]] std::optional<SchemeInjection> scheme_injection_from_name(
+    const std::string& name);
+
+/// Rule ids this injection is guaranteed to fire (it may fire others too —
+/// plaintext inside a protected row breaks both the row boundary and the
+/// per-line wire policy).
+[[nodiscard]] std::vector<std::string> scheme_injection_expected_rules(
+    SchemeInjection injection);
+
+/// Applies `injection` to copies of the entry/evidence and runs the
+/// targeted checker(s); the returned report must contain the expected rules.
+/// kWire/kBoundary need a scheme whose wire policy has a must-cipher side
+/// (any entry except baseline).
+[[nodiscard]] Report run_scheme_injection(SchemeInjection injection,
+                                          const sim::SchemeInfo& entry,
+                                          const SchemeRunEvidence& evidence);
+
+}  // namespace sealdl::verify

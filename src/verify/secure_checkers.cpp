@@ -15,9 +15,6 @@ namespace {
 
 constexpr std::uint64_t kLine = crypto::kLineBytes;
 
-/// What the scheme requires of a line's wire image.
-enum class WirePolicy : std::uint8_t { kMustCipher, kMustPlain };
-
 std::uint64_t plain_bytes(const TaintCounts& counts) {
   const auto wp = static_cast<std::size_t>(TaintClass::kWeightPlain);
   const auto fp = static_cast<std::size_t>(TaintClass::kFmapPlain);
@@ -36,42 +33,13 @@ std::uint64_t untagged_bytes(const TaintCounts& counts) {
 }
 
 /// The per-address wire policy. For SEAL this is derived from the *plan*
-/// (not the secure map): the map is what the memory system obeys, so judging
-/// the wire against the plan catches a map that drifted from the plan — the
-/// exact bug class the taint analyzer exists for.
+/// (not the secure map) via plan_line_policy below.
 WirePolicy line_policy(const AnalysisInput& input,
                        sim::EncryptionScheme scheme, bool selective,
                        const Region& region, sim::Addr line_addr) {
   if (scheme == sim::EncryptionScheme::kNone) return WirePolicy::kMustPlain;
   if (!selective) return WirePolicy::kMustCipher;
-  if (!input.plan) return WirePolicy::kMustPlain;
-  // The network output buffer is always encrypted under SEAL.
-  if (region.spec_index >= input.specs.size()) return WirePolicy::kMustCipher;
-  const std::uint64_t off = line_addr - region.begin;
-  if (region.kind == Region::Kind::kWeights) {
-    const int lp_idx = input.plan_index[region.spec_index];
-    const int row = static_cast<int>(off / region.pitch);
-    return input.plan->row_protected(static_cast<std::size_t>(lp_idx), row)
-               ? WirePolicy::kMustCipher
-               : WirePolicy::kMustPlain;
-  }
-  const int cp = input.consumer_plan_index(region.spec_index);
-  if (cp < 0) return WirePolicy::kMustPlain;
-  const auto& lp = input.plan->layer(static_cast<std::size_t>(cp));
-  if (region.dense_fc) {
-    // 32 features per line; the line is ciphertext iff any feature in it is
-    // encrypted (mirrors SecureMap::line_is_secure over the 4-byte marks).
-    const int features = input.specs[region.spec_index].in_features;
-    const int f0 = static_cast<int>(off / 4);
-    const int f1 = std::min(features, f0 + static_cast<int>(kLine / 4));
-    for (int f = f0; f < f1; ++f) {
-      if (row_encrypted_safe(lp, f)) return WirePolicy::kMustCipher;
-    }
-    return WirePolicy::kMustPlain;
-  }
-  const int channel = static_cast<int>(off / region.pitch);
-  return row_encrypted_safe(lp, channel) ? WirePolicy::kMustCipher
-                                         : WirePolicy::kMustPlain;
+  return plan_line_policy(input, region, line_addr);
 }
 
 /// splitmix64: the audit's known-plaintext generator. Purely a function of
@@ -226,6 +194,38 @@ void counter_replay(const AnalysisInput& input,
 
 std::vector<std::string> secure_rules() {
   return {"secure.leak", "secure.boundary", "secure.counter", "secure.oracle"};
+}
+
+WirePolicy plan_line_policy(const AnalysisInput& input, const Region& region,
+                            sim::Addr line_addr) {
+  if (!input.plan) return WirePolicy::kMustPlain;
+  // The network output buffer is always encrypted under SEAL.
+  if (region.spec_index >= input.specs.size()) return WirePolicy::kMustCipher;
+  const std::uint64_t off = line_addr - region.begin;
+  if (region.kind == Region::Kind::kWeights) {
+    const int lp_idx = input.plan_index[region.spec_index];
+    const int row = static_cast<int>(off / region.pitch);
+    return input.plan->row_protected(static_cast<std::size_t>(lp_idx), row)
+               ? WirePolicy::kMustCipher
+               : WirePolicy::kMustPlain;
+  }
+  const int cp = input.consumer_plan_index(region.spec_index);
+  if (cp < 0) return WirePolicy::kMustPlain;
+  const auto& lp = input.plan->layer(static_cast<std::size_t>(cp));
+  if (region.dense_fc) {
+    // 32 features per line; the line is ciphertext iff any feature in it is
+    // encrypted (mirrors SecureMap::line_is_secure over the 4-byte marks).
+    const int features = input.specs[region.spec_index].in_features;
+    const int f0 = static_cast<int>(off / 4);
+    const int f1 = std::min(features, f0 + static_cast<int>(kLine / 4));
+    for (int f = f0; f < f1; ++f) {
+      if (row_encrypted_safe(lp, f)) return WirePolicy::kMustCipher;
+    }
+    return WirePolicy::kMustPlain;
+  }
+  const int channel = static_cast<int>(off / region.pitch);
+  return row_encrypted_safe(lp, channel) ? WirePolicy::kMustCipher
+                                         : WirePolicy::kMustPlain;
 }
 
 const char* scheme_pick_name(const SchemePick& pick) {

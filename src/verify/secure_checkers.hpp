@@ -43,6 +43,19 @@ namespace sealdl::verify {
 /// Rule ids of the secure.* family (for --list-rules and the catalog test).
 [[nodiscard]] std::vector<std::string> secure_rules();
 
+/// What a scheme requires of a line's wire image.
+enum class WirePolicy : std::uint8_t { kMustCipher, kMustPlain };
+
+/// Plan-derived wire policy of one line under SEAL selective encryption:
+/// weight rows follow the plan's protected set, fmap channels the consumer
+/// rule, dense FC vectors the any-encrypted-feature-in-line rule, and the
+/// network output buffer is always ciphertext. Shared by secure.leak and the
+/// scheme.* conformance family (verify/scheme_checkers.hpp), so both judge
+/// the wire against the *plan* — catching a secure map that drifted from it.
+[[nodiscard]] WirePolicy plan_line_policy(const AnalysisInput& input,
+                                          const Region& region,
+                                          sim::Addr line_addr);
+
 /// One scheme configuration to audit.
 struct SchemePick {
   sim::EncryptionScheme scheme = sim::EncryptionScheme::kNone;

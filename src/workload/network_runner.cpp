@@ -169,15 +169,37 @@ NetworkResult run_specs(const std::vector<models::LayerSpec>& specs,
   // Build the address-space layout once; all schemes share addresses so that
   // results are comparable line for line. Layout, plan, and secure map are
   // immutable from here on — layer tasks only read them.
+  const sim::ProtectionScope scope = options.scope.value_or(
+      options.selective ? sim::ProtectionScope::kPlanRows
+      : config.scheme == sim::EncryptionScheme::kNone
+          ? sim::ProtectionScope::kNone
+          : sim::ProtectionScope::kAll);
   core::SecureHeap heap;
   core::EncryptionPlan plan;
   const core::EncryptionPlan* plan_ptr = nullptr;
-  if (options.selective) {
+  if (scope == sim::ProtectionScope::kPlanRows) {
     plan = core::EncryptionPlan::for_specs(specs, options.plan);
     plan_ptr = &plan;
   }
   core::ModelLayout layout(specs, plan_ptr, heap);
-  config.selective = options.selective;
+  if (scope == sim::ProtectionScope::kWeights) {
+    // GuardNN-style boundary: every laid-out weight byte is secure, no
+    // activation is. The boundary is structural (model parameters), so it
+    // needs no plan — mark each layer's full kernel-row span after layout.
+    for (const core::LayerAddressing& layer : layout.layers()) {
+      const std::uint64_t rows =
+          layer.spec.type == models::LayerSpec::Type::kConv
+              ? static_cast<std::uint64_t>(layer.spec.in_channels)
+          : layer.spec.type == models::LayerSpec::Type::kFc
+              ? static_cast<std::uint64_t>(layer.spec.in_features)
+              : 0;
+      if (rows && layer.weight_row_pitch) {
+        heap.mark_secure(layer.weight_base, rows * layer.weight_row_pitch);
+      }
+    }
+  }
+  config.selective = scope == sim::ProtectionScope::kPlanRows ||
+                     scope == sim::ProtectionScope::kWeights;
 
   std::vector<std::size_t> indices = options.layer_filter;
   if (indices.empty()) {

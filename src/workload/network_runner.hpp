@@ -4,12 +4,14 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/encryption_plan.hpp"
 #include "core/model_layout.hpp"
 #include "sim/gpu_config.hpp"
+#include "sim/scheme_model.hpp"
 #include "sim/sim_stats.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -74,6 +76,12 @@ struct RunOptions {
   /// When true, a SEAL plan (from `plan`) drives selective encryption; when
   /// false the whole address space is treated per the scheme.
   bool selective = false;
+  /// Protection-scope override (sim/scheme_model.hpp). Unset — the default —
+  /// derives the scope from `selective` and the scheme family: selective
+  /// schemes protect the plan's rows, full schemes everything. kWeights
+  /// (GuardNN-style) builds a weights-only secure map with no plan and runs
+  /// the config selectively against it; kPlanRows forces the plan path.
+  std::optional<sim::ProtectionScope> scope;
   /// When non-empty, only these spec indices are simulated (the full layout
   /// is still built, so e.g. a POOL keeps the channel encryption induced by
   /// its downstream CONV). Results appear in filter order.

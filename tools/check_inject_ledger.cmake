@@ -1,10 +1,11 @@
-# ctest gate: `sealdl-check --inject all --json` must account for every
-# injection — exercised + skipped == total, nothing missed — so CI can prove
-# no injection silently fell out of the self-test loop.
+# ctest gate: `sealdl-check --inject all --json` and `sealdl-sim
+# --inject-scheme all --inject-scheme-json` must account for every injection —
+# exercised + skipped == total, nothing missed — so CI can prove no injection
+# silently fell out of either self-test loop.
 # Invoked as:
-#   cmake -DCHECK_BIN=<path> -DOUT_DIR=<dir> -P check_inject_ledger.cmake
-if(NOT DEFINED CHECK_BIN OR NOT DEFINED OUT_DIR)
-  message(FATAL_ERROR "usage: cmake -DCHECK_BIN=... -DOUT_DIR=... -P check_inject_ledger.cmake")
+#   cmake -DCHECK_BIN=<path> -DSIM_BIN=<path> -DOUT_DIR=<dir> -P check_inject_ledger.cmake
+if(NOT DEFINED CHECK_BIN OR NOT DEFINED SIM_BIN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DCHECK_BIN=... -DSIM_BIN=... -DOUT_DIR=... -P check_inject_ledger.cmake")
 endif()
 
 # VGG-16 has no residual topology, so exactly the plan-residual injection is
@@ -37,3 +38,38 @@ if(NOT skipped EQUAL 1 OR NOT ledger MATCHES "\"name\":\"plan-residual\",\"statu
   message(FATAL_ERROR "expected exactly plan-residual to be skipped on vgg16 (skipped=${skipped})")
 endif()
 message(STATUS "inject ledger OK: ${exercised} exercised + ${skipped} skipped == ${total} total, 0 missed")
+
+# Same accounting for the scheme.* self-test loop. Baseline pins the skip
+# path: with no must-cipher lines under scope none, exactly the wire and
+# boundary corruptions have nothing to violate.
+execute_process(
+  COMMAND ${SIM_BIN} --workload resnet18 --input 64 --tiles 24
+          --scheme baseline --inject-scheme all
+          --inject-scheme-json ${OUT_DIR}/inject_scheme_ledger.json
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sealdl-sim --inject-scheme all failed (rc=${rc})")
+endif()
+
+file(READ ${OUT_DIR}/inject_scheme_ledger.json scheme_ledger)
+foreach(field total exercised skipped missed)
+  if(NOT scheme_ledger MATCHES "\"${field}\":([0-9]+)")
+    message(FATAL_ERROR "inject-scheme ledger JSON lacks the \"${field}\" field")
+  endif()
+  set(${field} ${CMAKE_MATCH_1})
+endforeach()
+
+math(EXPR accounted "${exercised} + ${skipped}")
+if(NOT accounted EQUAL total)
+  message(FATAL_ERROR "scheme injection accounting broken: ${exercised} exercised + ${skipped} skipped != ${total} total")
+endif()
+if(NOT missed EQUAL 0)
+  message(FATAL_ERROR "${missed} scheme injection(s) missed")
+endif()
+if(NOT skipped EQUAL 2
+   OR NOT scheme_ledger MATCHES "\"name\":\"scheme-wire\",\"status\":\"skipped\""
+   OR NOT scheme_ledger MATCHES "\"name\":\"scheme-boundary\",\"status\":\"skipped\"")
+  message(FATAL_ERROR "expected exactly scheme-wire and scheme-boundary to be skipped on baseline (skipped=${skipped})")
+endif()
+message(STATUS "inject-scheme ledger OK: ${exercised} exercised + ${skipped} skipped == ${total} total, 0 missed")

@@ -29,6 +29,7 @@
 #include "verify/concurrency.hpp"
 #include "verify/fleet_checkers.hpp"
 #include "verify/profile_checkers.hpp"
+#include "verify/scheme_checkers.hpp"
 #include "verify/secure_checkers.hpp"
 #include "verify/serve_checkers.hpp"
 
@@ -53,44 +54,118 @@ core::RowPolicy parse_policy(const std::string& name) {
                               " (smallest|random|largest)");
 }
 
-void list_rules() {
+/// One catalog row: a rule id and the entry point that validates it.
+struct CatalogRule {
+  std::string id;
+  std::string validator;
+};
+
+/// One catalog injection: the seeded violation's CLI name, the flag (and
+/// binary) that runs it, and the rules it is guaranteed to fire.
+struct CatalogInjection {
+  std::string name;
+  std::string flag;
+  std::vector<std::string> fires;
+};
+
+/// The complete rule catalog, the single index docs/ANALYSIS.md and the
+/// drift gate (tools/check_rule_catalog.cmake) are held against.
+std::vector<CatalogRule> rule_catalog() {
+  std::vector<CatalogRule> catalog;
   for (const auto& checker : verify::default_checkers()) {
     for (const std::string& rule : checker->rules()) {
-      std::printf("%-16s (checker: %.*s)\n", rule.c_str(),
-                  static_cast<int>(checker->name().size()),
-                  checker->name().data());
+      catalog.push_back({rule, "checker: " + std::string(checker->name())});
     }
   }
   // Rule families owned by other entry points, listed here so the catalog
   // printed by --list-rules stays the single complete index.
   for (const std::string& rule : verify::serve_option_rules()) {
-    std::printf("%-16s (validated by sealdl-serve)\n", rule.c_str());
+    catalog.push_back({rule, "validated by sealdl-serve"});
   }
   for (const std::string& rule : verify::fleet_rules()) {
-    std::printf("%-16s (validated by sealdl-serve)\n", rule.c_str());
+    catalog.push_back({rule, "validated by sealdl-serve"});
   }
   for (const std::string& rule : verify::profile_rules()) {
-    std::printf("%-16s (validated by sealdl-sim/sealdl-serve)\n", rule.c_str());
+    catalog.push_back({rule, "validated by sealdl-sim/sealdl-serve"});
   }
   for (const std::string& rule : verify::secure_rules()) {
-    std::printf("%-16s (taint audit: --secure-audit here / in sealdl-sim "
-                "and sealdl-serve)\n",
-                rule.c_str());
+    catalog.push_back({rule,
+                       "taint audit: --secure-audit here / in sealdl-sim "
+                       "and sealdl-serve"});
+  }
+  for (const std::string& rule : verify::scheme_rules()) {
+    catalog.push_back(
+        {rule, "scheme conformance: sealdl-sim --scheme-audit"});
   }
   for (const std::string& rule : verify::lock_audit_rules()) {
-    std::printf("%-16s (runtime lock auditor, SEALDL_LOCK_AUDIT)\n",
-                rule.c_str());
+    catalog.push_back({rule, "runtime lock auditor, SEALDL_LOCK_AUDIT"});
   }
-  std::printf("\ninjections (--inject <name>|all):\n");
+  return catalog;
+}
+
+std::vector<CatalogInjection> injection_catalog() {
+  std::vector<CatalogInjection> catalog;
   for (const verify::Injection injection : verify::all_injections()) {
+    catalog.push_back({verify::injection_name(injection), "--inject",
+                       verify::expected_rules(injection)});
+  }
+  for (const verify::SchemeInjection injection :
+       verify::all_scheme_injections()) {
+    catalog.push_back({verify::scheme_injection_name(injection),
+                       "sealdl-sim --inject-scheme",
+                       verify::scheme_injection_expected_rules(injection)});
+  }
+  return catalog;
+}
+
+void list_rules() {
+  for (const CatalogRule& rule : rule_catalog()) {
+    std::printf("%-16s (%s)\n", rule.id.c_str(), rule.validator.c_str());
+  }
+  std::printf("\ninjections (--inject <name>|all; scheme-* via "
+              "sealdl-sim --inject-scheme):\n");
+  for (const CatalogInjection& injection : injection_catalog()) {
     std::string rules;
-    for (const std::string& rule : verify::expected_rules(injection)) {
+    for (const std::string& rule : injection.fires) {
       if (!rules.empty()) rules += ", ";
       rules += rule;
     }
-    std::printf("%-18s fires: %s\n", verify::injection_name(injection),
-                rules.c_str());
+    std::printf("%-18s fires: %s\n", injection.name.c_str(), rules.c_str());
   }
+}
+
+/// Machine-readable catalog (--list-rules --json <path>): what the cmake
+/// drift gate consumes instead of scraping the text listing.
+void write_json_catalog(const std::string& path) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("tool", "sealdl-check");
+  json.field("schema_version", 1);
+  json.field("mode", "rule-catalog");
+  json.key("rules");
+  json.begin_array();
+  for (const CatalogRule& rule : rule_catalog()) {
+    json.begin_object();
+    json.field("id", rule.id);
+    json.field("validator", rule.validator);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("injections");
+  json.begin_array();
+  for (const CatalogInjection& injection : injection_catalog()) {
+    json.begin_object();
+    json.field("name", injection.name);
+    json.field("flag", injection.flag);
+    json.key("fires");
+    json.begin_array();
+    for (const std::string& rule : injection.fires) json.value(rule);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  telemetry::write_text_file(path, json.str());
 }
 
 void write_json_report(const std::string& path, const std::string& workload,
@@ -210,7 +285,9 @@ int main(int argc, char** argv) {
     util::CliFlags flags(argc, argv);
 
     if (flags.get_bool("list-rules", false)) {
+      const std::string catalog_json = flags.get("json", "");
       list_rules();
+      if (!catalog_json.empty()) write_json_catalog(catalog_json);
       return 0;
     }
 

@@ -49,6 +49,7 @@
 
 #include "serve/fleet.hpp"
 #include "serve/server.hpp"
+#include "sim/scheme_registry.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
 #include "util/cli.hpp"
@@ -63,19 +64,17 @@ using namespace sealdl;
 
 namespace {
 
-struct SchemeChoice {
-  sim::EncryptionScheme scheme;
-  bool selective;
-};
-
-SchemeChoice parse_scheme(const std::string& name) {
-  if (name == "baseline") return {sim::EncryptionScheme::kNone, false};
-  if (name == "direct") return {sim::EncryptionScheme::kDirect, false};
-  if (name == "counter") return {sim::EncryptionScheme::kCounter, false};
-  if (name == "seal-d") return {sim::EncryptionScheme::kDirect, true};
-  if (name == "seal-c") return {sim::EncryptionScheme::kCounter, true};
-  throw std::invalid_argument("unknown --scheme " + name +
-                              " (baseline|direct|counter|seal-d|seal-c)");
+/// Resolves a CLI scheme name through the shared registry
+/// (sim/scheme_registry.hpp) — the same table sealdl-sim and the benches use,
+/// so the accepted set can never drift between the tools.
+const sim::SchemeInfo& parse_scheme(const std::string& name) {
+  if (const sim::SchemeInfo* entry = sim::find_scheme(name)) return *entry;
+  std::string names;
+  for (const sim::SchemeInfo& info : sim::scheme_registry()) {
+    if (!names.empty()) names += '|';
+    names += info.cli_name;
+  }
+  throw std::invalid_argument("unknown --scheme " + name + " (" + names + ")");
 }
 
 std::vector<std::string> split_csv(const std::string& csv) {
@@ -96,7 +95,7 @@ int run(int argc, char** argv) {
   util::CliFlags flags(argc, argv);
   const std::string networks_csv = flags.get("networks", "vgg16");
   const std::string scheme_name = flags.get("scheme", "baseline");
-  const auto choice = parse_scheme(scheme_name);
+  const sim::SchemeInfo& entry = parse_scheme(scheme_name);
   const double ratio = flags.get_double("ratio", 0.5);
   const auto tiles = static_cast<std::uint64_t>(flags.get_int("tiles", 480));
   const int jobs = static_cast<int>(flags.get_int("jobs", 1));
@@ -162,12 +161,17 @@ int run(int argc, char** argv) {
   }
 
   sim::GpuConfig config = sim::GpuConfig::gtx480();
-  config.scheme = choice.scheme;
-  config.selective = choice.selective;
+  sim::apply_scheme(entry, config);
 
   const std::string json_path = flags.get("json", "");
   const std::string trace_path = flags.get("trace", "");
   const bool secure_audit = flags.get_bool("secure-audit", false);
+  if (secure_audit && !entry.paper) {
+    throw std::invalid_argument(
+        std::string("--secure-audit hand-encodes the five paper schemes; "
+                    "check ") +
+        entry.cli_name + " with sealdl-sim --scheme-audit instead");
+  }
   const auto sample_interval =
       static_cast<sim::Cycle>(flags.get_int("sample-interval", 0));
   std::unique_ptr<telemetry::RunTelemetry> collect;
@@ -187,7 +191,8 @@ int run(int argc, char** argv) {
 
   workload::RunOptions run_options;
   run_options.max_tiles_per_layer = tiles;
-  run_options.selective = choice.selective;
+  run_options.selective = entry.selective();
+  run_options.scope = entry.scope;
   run_options.plan.encryption_ratio = ratio;
 
   // One audit input + taint auditor per served network: each hook records its
@@ -199,7 +204,7 @@ int run(int argc, char** argv) {
     for (const serve::NamedNetwork& network : networks) {
       verify::BuildOptions build;
       build.plan = run_options.plan;
-      build.selective = choice.selective;
+      build.selective = entry.scope == sim::ProtectionScope::kPlanRows;
       audit_inputs.push_back(std::make_unique<verify::AnalysisInput>(
           verify::build_input(network.specs, build)));
       auditors.push_back(

@@ -9,7 +9,9 @@
 //   sealdl-sim --workload gemm --dim 1024 --scheme direct --engine-gbps 16
 //   sealdl-sim --workload pool --in-ch 64 --hw 224 --scheme seal-c --split-counters
 //
-// Schemes: baseline | direct | counter | seal-d | seal-c.
+// Schemes come from the shared registry (sim/scheme_registry.hpp): the five
+// paper schemes baseline | direct | counter | seal-d | seal-c plus the rival
+// models seculator | guardnn. --scheme accepts any registered CLI name.
 //
 // Execution shape:
 //   --jobs N         parallel per-layer simulation (0 = all hardware threads)
@@ -30,9 +32,19 @@
 // Security audit (network workloads only):
 //   --secure-audit            attach a byte-provenance taint probe to the bus,
 //                             then prove the secure.* no-leakage invariants
-//                             over the recorded ledger (docs/ANALYSIS.md)
+//                             over the recorded ledger (docs/ANALYSIS.md);
+//                             hand-encodes the five paper schemes only
 //   --secure-audit-json p     write the ledger + findings (implies the audit);
 //                             byte-identical across --jobs values
+//   --scheme-audit            prove the run against the scheme's own declared
+//                             SchemeContract via the generic scheme.* rule
+//                             family — works for every registered scheme,
+//                             including the rivals the secure.* family does
+//                             not know about
+//   --inject-scheme <n|all>   seed a scheme-contract violation and exit 0
+//                             only if the matching scheme.* rule fires
+//                             (self-test; implies --scheme-audit evidence)
+//   --inject-scheme-json p    machine-readable ledger for --inject-scheme all
 //
 // Every profiled run is checked against the profile.* rule family; the
 // hidden --inject-profile <conservation|total> flag seeds a violation and
@@ -44,9 +56,11 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "models/layer_spec.hpp"
 #include "sim/gpu_simulator.hpp"
+#include "sim/scheme_registry.hpp"
 #include "telemetry/collect.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/report.hpp"
@@ -55,6 +69,7 @@
 #include "util/json.hpp"
 #include "util/table.hpp"
 #include "verify/profile_checkers.hpp"
+#include "verify/scheme_checkers.hpp"
 #include "verify/secure_checkers.hpp"
 #include "workload/gemm_trace.hpp"
 #include "workload/network_runner.hpp"
@@ -63,19 +78,16 @@ using namespace sealdl;
 
 namespace {
 
-struct SchemeChoice {
-  sim::EncryptionScheme scheme;
-  bool selective;
-};
-
-SchemeChoice parse_scheme(const std::string& name) {
-  if (name == "baseline") return {sim::EncryptionScheme::kNone, false};
-  if (name == "direct") return {sim::EncryptionScheme::kDirect, false};
-  if (name == "counter") return {sim::EncryptionScheme::kCounter, false};
-  if (name == "seal-d") return {sim::EncryptionScheme::kDirect, true};
-  if (name == "seal-c") return {sim::EncryptionScheme::kCounter, true};
-  throw std::invalid_argument("unknown --scheme " + name +
-                              " (baseline|direct|counter|seal-d|seal-c)");
+/// Resolves a CLI scheme name through the shared registry; the error message
+/// enumerates the registry so it can never drift from the accepted set.
+const sim::SchemeInfo& parse_scheme(const std::string& name) {
+  if (const sim::SchemeInfo* entry = sim::find_scheme(name)) return *entry;
+  std::string names;
+  for (const sim::SchemeInfo& info : sim::scheme_registry()) {
+    if (!names.empty()) names += '|';
+    names += info.cli_name;
+  }
+  throw std::invalid_argument("unknown --scheme " + name + " (" + names + ")");
 }
 
 void print_stats(const sim::SimStats& stats, double scale,
@@ -112,13 +124,12 @@ void print_stats(const sim::SimStats& stats, double scale,
 int run(int argc, char** argv) {
   util::CliFlags flags(argc, argv);
   const std::string workload = flags.get("workload", "vgg16");
-  const auto choice = parse_scheme(flags.get("scheme", "baseline"));
+  const sim::SchemeInfo& entry = parse_scheme(flags.get("scheme", "baseline"));
   const double ratio = flags.get_double("ratio", 0.5);
   const auto tiles = static_cast<std::uint64_t>(flags.get_int("tiles", 480));
 
   sim::GpuConfig config = sim::GpuConfig::gtx480();
-  config.scheme = choice.scheme;
-  config.selective = choice.selective;
+  sim::apply_scheme(entry, config);
   config.counter_cache_kb = static_cast<int>(flags.get_int("counter-cache-kb", 96));
   config.split_counters = flags.get_bool("split-counters", false);
   config.engines_per_controller = static_cast<int>(flags.get_int("engines", 1));
@@ -146,11 +157,34 @@ int run(int argc, char** argv) {
   const std::string secure_audit_json = flags.get("secure-audit-json", "");
   const bool secure_audit =
       flags.get_bool("secure-audit", false) || !secure_audit_json.empty();
-  if (secure_audit && workload != "vgg16" && workload != "resnet18" &&
-      workload != "resnet34") {
+  const std::string inject_scheme = flags.get("inject-scheme", "");
+  const std::string inject_scheme_json = flags.get("inject-scheme-json", "");
+  const bool scheme_audit = flags.get_bool("scheme-audit", false) ||
+                            !inject_scheme.empty() ||
+                            !inject_scheme_json.empty();
+  if (!inject_scheme.empty() && inject_scheme != "all" &&
+      !verify::scheme_injection_from_name(inject_scheme)) {
+    std::string names = "all";
+    for (const verify::SchemeInjection injection :
+         verify::all_scheme_injections()) {
+      names += '|';
+      names += verify::scheme_injection_name(injection);
+    }
+    throw std::invalid_argument("unknown --inject-scheme " + inject_scheme +
+                                " (" + names + ")");
+  }
+  if ((secure_audit || scheme_audit) && workload != "vgg16" &&
+      workload != "resnet18" && workload != "resnet34") {
     throw std::invalid_argument(
-        "--secure-audit needs a network workload (vgg16|resnet18|resnet34): "
-        "the taint probe classifies addresses against the network layout");
+        "--secure-audit/--scheme-audit need a network workload "
+        "(vgg16|resnet18|resnet34): the taint probe classifies addresses "
+        "against the network layout");
+  }
+  if (secure_audit && !entry.paper) {
+    throw std::invalid_argument(
+        std::string("--secure-audit hand-encodes the five paper schemes; "
+                    "use --scheme-audit to check ") +
+        entry.cli_name + " against its own contract");
   }
   std::unique_ptr<telemetry::RunTelemetry> collect;
   if (!json_path.empty() || !trace_path.empty() || profile) {
@@ -166,7 +200,8 @@ int run(int argc, char** argv) {
 
   workload::RunOptions options;
   options.max_tiles_per_layer = tiles;
-  options.selective = choice.selective;
+  options.selective = entry.selective();
+  options.scope = entry.scope;
   options.plan.encryption_ratio = ratio;
   options.telemetry = collect.get();
   // Parallel per-layer simulation (0 = one worker per hardware thread).
@@ -266,10 +301,12 @@ int run(int argc, char** argv) {
     // is what lets the probe classify live bus addresses from outside.
     std::optional<verify::AnalysisInput> audit_input;
     std::optional<verify::TaintAuditor> auditor;
-    if (secure_audit) {
+    if (secure_audit || scheme_audit) {
       verify::BuildOptions build;
       build.plan = options.plan;
-      build.selective = choice.selective;
+      // Only plan-row schemes carry an encryption plan; weights-only and
+      // full schemes audit against the plain region map.
+      build.selective = entry.scope == sim::ProtectionScope::kPlanRows;
       audit_input.emplace(verify::build_input(specs, build));
       auditor.emplace(&*audit_input);
       options.probe_hook = &*auditor;
@@ -286,7 +323,7 @@ int run(int argc, char** argv) {
     per_layer.print();
     std::printf("\noverall IPC %.1f, latency %.2f ms @700MHz\n",
                 result.overall_ipc(), result.total_cycles() / 700e3);
-    if (auditor) {
+    if (auditor && secure_audit) {
       std::uint64_t counter_bytes = 0;
       for (const auto& layer : result.layers) {
         counter_bytes += layer.stats.counter_traffic_bytes;
@@ -324,12 +361,135 @@ int run(int argc, char** argv) {
         return 1;
       }
     }
+    if (scheme_audit) {
+      sim::SimStats total;
+      for (const auto& layer : result.layers) total.merge_from(layer.stats);
+      verify::SchemeRunEvidence evidence;
+      evidence.input = &*audit_input;
+      evidence.ledger = &auditor->ledger();
+      evidence.stats = total;
+      evidence.config = config;
+      const verify::Report scheme_report =
+          verify::run_scheme_conformance(entry, evidence);
+      if (scheme_report.error_count() > 0) {
+        std::fputs(scheme_report.to_text().c_str(), stderr);
+        std::fprintf(stderr, "sealdl-sim: run violates %s's scheme contract\n",
+                     entry.display);
+        return 1;
+      }
+      std::printf("scheme audit: %s conforms to its contract (scope %s)\n",
+                  entry.display, sim::protection_scope_name(entry.scope));
+      if (!inject_scheme.empty()) {
+        // Self-test over the clean evidence: seed each requested violation
+        // and demand the matching scheme.* rule fires, with the same
+        // exercised + skipped == total accounting the --inject ledger uses.
+        struct Outcome {
+          std::string name;
+          std::string status;  ///< "caught", "missed" or "skipped"
+          std::string reason;
+          std::uint64_t errors = 0;
+          std::uint64_t warnings = 0;
+        };
+        std::vector<verify::SchemeInjection> selected;
+        if (inject_scheme == "all") {
+          selected = verify::all_scheme_injections();
+        } else {
+          selected = {*verify::scheme_injection_from_name(inject_scheme)};
+        }
+        std::vector<Outcome> outcomes;
+        bool all_caught = true;
+        for (const verify::SchemeInjection injection : selected) {
+          Outcome outcome;
+          outcome.name = verify::scheme_injection_name(injection);
+          const bool needs_cipher =
+              injection == verify::SchemeInjection::kWire ||
+              injection == verify::SchemeInjection::kBoundary;
+          if (needs_cipher && entry.scope == sim::ProtectionScope::kNone) {
+            // Baseline's wire policy has no must-cipher side, so there is no
+            // line whose corruption these rules could object to.
+            outcome.status = "skipped";
+            outcome.reason = "no must-cipher lines under scope none";
+            std::printf("skip    %-18s (%s)\n", outcome.name.c_str(),
+                        outcome.reason.c_str());
+            outcomes.push_back(std::move(outcome));
+            continue;
+          }
+          const verify::Report report =
+              verify::run_scheme_injection(injection, entry, evidence);
+          bool caught = true;
+          for (const std::string& rule :
+               verify::scheme_injection_expected_rules(injection)) {
+            if (!report.fired(rule)) {
+              std::printf("MISSED  %-18s rule %s did not fire\n",
+                          outcome.name.c_str(), rule.c_str());
+              caught = false;
+            }
+          }
+          if (caught) {
+            std::printf("caught  %-18s (%llu errors, %llu warnings)\n",
+                        outcome.name.c_str(),
+                        static_cast<unsigned long long>(report.error_count()),
+                        static_cast<unsigned long long>(report.warning_count()));
+          }
+          outcome.status = caught ? "caught" : "missed";
+          outcome.errors = report.error_count();
+          outcome.warnings = report.warning_count();
+          outcomes.push_back(std::move(outcome));
+          all_caught &= caught;
+        }
+        std::uint64_t exercised = 0, skipped = 0, missed = 0;
+        for (const Outcome& outcome : outcomes) {
+          if (outcome.status == "skipped") {
+            ++skipped;
+          } else {
+            ++exercised;
+            if (outcome.status == "missed") ++missed;
+          }
+        }
+        std::printf("%s/%s: %llu scheme injections exercised, %llu skipped, "
+                    "%zu total, %s\n",
+                    workload.c_str(), entry.cli_name,
+                    static_cast<unsigned long long>(exercised),
+                    static_cast<unsigned long long>(skipped), outcomes.size(),
+                    all_caught ? "all caught" : "SOME MISSED");
+        if (!inject_scheme_json.empty()) {
+          util::JsonWriter json;
+          json.begin_object();
+          json.field("tool", "sealdl-sim");
+          json.field("schema_version", 1);
+          json.field("mode", "inject-scheme");
+          json.field("workload", workload);
+          json.field("scheme", entry.cli_name);
+          json.field("total", static_cast<std::uint64_t>(outcomes.size()));
+          json.field("exercised", exercised);
+          json.field("skipped", skipped);
+          json.field("missed", missed);
+          json.key("injections");
+          json.begin_array();
+          for (const Outcome& outcome : outcomes) {
+            json.begin_object();
+            json.field("name", outcome.name);
+            json.field("status", outcome.status);
+            if (!outcome.reason.empty()) json.field("reason", outcome.reason);
+            if (outcome.status != "skipped") {
+              json.field("errors", outcome.errors);
+              json.field("warnings", outcome.warnings);
+            }
+            json.end_object();
+          }
+          json.end_array();
+          json.end_object();
+          telemetry::write_text_file(inject_scheme_json, json.str());
+        }
+        return all_caught ? 0 : 1;
+      }
+    }
   }
 
   if (collect) {
     // run_specs() applies the scheme's selectivity before simulating; mirror
     // it so the exported config matches what actually ran.
-    config.selective = choice.selective;
+    config.selective = entry.selective();
     info.provenance = telemetry::make_provenance(config, options.jobs,
                                                  {flags.get("scheme", "baseline")});
     info.provenance.fast_path = options.fast_path;
